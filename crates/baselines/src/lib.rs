@@ -1,0 +1,33 @@
+//! Baseline synthesizers that SNBC is compared against in Table 1.
+//!
+//! Three tools, reproduced to their architectural essence:
+//!
+//! * [`Fossil`] — FOSSIL \[1\]: a CEGIS loop pairing a *neural* BC learner with
+//!   an **SMT-style verifier**. The original uses dReal/Z3; here the
+//!   δ-complete interval branch-and-bound of [`snbc_interval`] plays that
+//!   role, with the same qualitative behaviour: complete on small systems,
+//!   exponential blow-up with the state dimension.
+//! * [`NncChecker`] — NNCChecker \[14\]: iterative synthesis of *polynomial*
+//!   BC candidates by numerical optimization, verified with dReal (again the
+//!   interval substitute here).
+//! * [`SosTools`] — SOSTOOLS \[11\]: direct one-shot SOS synthesis with the
+//!   barrier coefficients as decision variables. The bilinear `λ·B` term is
+//!   handled as the paper describes evaluating this baseline: fixed
+//!   multipliers `λ` with random coefficients of degree ≤ 2, a fresh draw per
+//!   attempt. This solves *one large* SOS program per attempt — precisely the
+//!   cost the split LMI formulation of SNBC avoids.
+//!
+//! All baselines consume the same [`snbc_dynamics::benchmarks::Benchmark`]
+//! and controller abstractions as the main pipeline and emit a uniform
+//! [`SynthesisReport`] so the Table 1 harness can tabulate them side by side.
+
+mod fossil;
+mod nncchecker;
+mod report;
+mod smt_verify;
+mod sostools;
+
+pub use fossil::{Fossil, FossilConfig};
+pub use nncchecker::{NncChecker, NncCheckerConfig};
+pub use report::SynthesisReport;
+pub use sostools::{SosTools, SosToolsConfig};

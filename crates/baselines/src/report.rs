@@ -1,0 +1,59 @@
+use std::time::Duration;
+
+use snbc_poly::Polynomial;
+
+/// Uniform outcome record for every synthesizer (SNBC and baselines), carrying
+/// the Table 1 columns.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Tool name.
+    pub tool: &'static str,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `true` when a certificate was produced and verified by the tool's own
+    /// verifier.
+    pub success: bool,
+    /// Degree of the produced barrier certificate, if any (`d_B`).
+    pub barrier_degree: Option<u32>,
+    /// CEGIS / refinement iterations used.
+    pub iterations: usize,
+    /// Learning / candidate-generation time (`T_l`).
+    pub t_learn: Duration,
+    /// Counterexample-generation time (`T_c`; zero for tools without a
+    /// dedicated phase).
+    pub t_cex: Duration,
+    /// Verification time (`T_v`).
+    pub t_verify: Duration,
+    /// End-to-end time (`T_e`).
+    pub t_total: Duration,
+    /// The certificate, when produced.
+    pub barrier: Option<Polynomial>,
+    /// Failure classification for the table: `"OT"` (budget), `"×"`
+    /// (infeasible within degree bounds), or a free-form message.
+    pub failure: Option<String>,
+}
+
+impl SynthesisReport {
+    /// A failed report with the given classification.
+    pub fn failed(
+        tool: &'static str,
+        benchmark: impl Into<String>,
+        iterations: usize,
+        elapsed: Duration,
+        failure: impl Into<String>,
+    ) -> Self {
+        SynthesisReport {
+            tool,
+            benchmark: benchmark.into(),
+            success: false,
+            barrier_degree: None,
+            iterations,
+            t_learn: Duration::ZERO,
+            t_cex: Duration::ZERO,
+            t_verify: Duration::ZERO,
+            t_total: elapsed,
+            barrier: None,
+            failure: Some(failure.into()),
+        }
+    }
+}

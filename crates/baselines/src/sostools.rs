@@ -1,0 +1,265 @@
+//! SOSTOOLS-style direct synthesis: one large SOS program with the barrier
+//! coefficients as decision variables.
+//!
+//! SOSTOOLS [11] formulates barrier synthesis as a single SOS program. With
+//! both `B` and `λ` unknown the flow constraint is bilinear (a BMI); the
+//! paper evaluates this baseline with *fixed multipliers of degree ≤ 2 with
+//! random coefficients*, which restores convexity at the cost of guessing.
+//! Each attempt draws a fresh `λ`, builds the joint program
+//!
+//! ```text
+//!   find B (free, deg d_B), σᵢ, δᵢ, φᵢ ∈ Σ[x]
+//!   s.t.  B − Σσᵢθᵢ ∈ Σ,   −B − Σδᵢξᵢ − ε₁ − ρ ∈ Σ,
+//!         L_f B − λB − Σφᵢψᵢ − φ_w(σ*² − w²) − ε₂ ∈ Σ[x, w],
+//! ```
+//!
+//! and accepts the first feasible draw. The term `ρ > 0` forces a
+//! non-trivial normalization (`B ≡ 0` satisfies (13) and (15) trivially, so
+//! a separation offset is required; we require `B ≤ −ε₁ − ρ` on `Ξ` while
+//! pinning `B(x̄_Θ) ≥ ρ` at the initial set's center via an extra linear
+//! constraint).
+
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rand::SeedableRng;
+use snbc::PolynomialInclusion;
+use snbc_dynamics::benchmarks::Benchmark;
+use snbc_poly::{lie_derivative, monomial_basis, Polynomial};
+use snbc_sos::{SosError, SosExpr, SosProgram};
+
+use crate::SynthesisReport;
+
+/// Configuration of the SOSTOOLS-style baseline.
+#[derive(Debug, Clone)]
+pub struct SosToolsConfig {
+    /// Degree of the unknown barrier polynomial (the paper bounds it by 6).
+    pub barrier_degree: u32,
+    /// Degree of the SOS multipliers.
+    pub multiplier_degree: u32,
+    /// Degree of the random fixed multiplier `λ`.
+    pub lambda_degree: u32,
+    /// Number of random `λ` draws before giving up (`×`).
+    pub attempts: usize,
+    /// Strictness constants.
+    pub epsilon1: f64,
+    /// Strictness of the flow condition.
+    pub epsilon2: f64,
+    /// Normalization offset forcing a non-trivial certificate.
+    pub rho: f64,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SosToolsConfig {
+    fn default() -> Self {
+        SosToolsConfig {
+            barrier_degree: 2,
+            multiplier_degree: 2,
+            lambda_degree: 0,
+            attempts: 5,
+            epsilon1: 1e-4,
+            epsilon2: 1e-4,
+            rho: 0.1,
+            time_limit: Duration::from_secs(7200),
+            seed: 23,
+        }
+    }
+}
+
+/// The SOSTOOLS-style synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct SosTools {
+    cfg: SosToolsConfig,
+}
+
+impl SosTools {
+    /// Creates the baseline with the given configuration.
+    pub fn new(cfg: SosToolsConfig) -> Self {
+        SosTools { cfg }
+    }
+
+    /// Attempts direct SOS synthesis on a benchmark under the shared
+    /// controller abstraction.
+    pub fn synthesize(&self, bench: &Benchmark, inclusion: &PolynomialInclusion) -> SynthesisReport {
+        let t0 = Instant::now();
+        let system = &bench.system;
+        let n = system.nvars();
+        let sigma = inclusion.sigma_star;
+        let robust = sigma > 1e-12;
+        let nvars = if robust { n + 1 } else { n };
+        let field = if robust {
+            system.close_loop_with_error(&inclusion.h)
+        } else {
+            system.close_loop(&inclusion.h)
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed);
+        let lambda_basis = monomial_basis(n, self.cfg.lambda_degree);
+        let theta_center = system.init().box_center();
+
+        for attempt in 1..=self.cfg.attempts {
+            if t0.elapsed() > self.cfg.time_limit {
+                return SynthesisReport::failed("SOSTOOLS", bench.name, attempt - 1, t0.elapsed(), "OT");
+            }
+            // Random fixed multiplier λ with coefficients in [−2, 0] (negative
+            // leaning: stable systems want λ < 0 near the equilibrium).
+            let lambda = Polynomial::from_coeffs(
+                &lambda_basis
+                    .iter()
+                    .map(|_| rng.gen_range(-2.0..0.0))
+                    .collect::<Vec<_>>(),
+                &lambda_basis,
+            );
+
+            let mut prog = SosProgram::new(nvars);
+            // The unknown barrier is represented by one scalar free unknown
+            // per basis monomial, B = Σ_α c_α·x^α: every occurrence of B —
+            // including the Lie derivative, which is linear in the c_α — is
+            // then an affine SosExpr term with a *known* polynomial
+            // multiplier.
+            let b_basis = monomial_basis(n, self.cfg.barrier_degree);
+            let b_coeffs: Vec<_> = (0..b_basis.len()).map(|_| prog.add_free(0)).collect();
+
+            // (13): B − Σσθ ∈ Σ.
+            let mut e13 = SosExpr::new();
+            for (c, m) in b_coeffs.iter().zip(&b_basis) {
+                e13 = e13.add_term(Polynomial::term(1.0, m.clone()), *c);
+            }
+            for theta in system.init().polys() {
+                let s = prog.add_sos(self.cfg.multiplier_degree);
+                e13 = e13.add_term(-theta, s);
+            }
+            prog.require_sos(e13);
+
+            // (14): −B − Σδξ − ε₁ − ρ ∈ Σ.
+            let mut e14 =
+                SosExpr::from_poly(Polynomial::constant(-self.cfg.epsilon1 - self.cfg.rho));
+            for (c, m) in b_coeffs.iter().zip(&b_basis) {
+                e14 = e14.add_term(Polynomial::term(-1.0, m.clone()), *c);
+            }
+            for xi in system.unsafe_set().polys() {
+                let d = prog.add_sos(self.cfg.multiplier_degree);
+                e14 = e14.add_term(-xi, d);
+            }
+            prog.require_sos(e14);
+
+            // (15): L_f B − λB − Σφψ − φ_w·(σ*² − w²) − ε₂ ∈ Σ[x, w].
+            let mut e15 = SosExpr::from_poly(Polynomial::constant(-self.cfg.epsilon2));
+            for (c, m) in b_coeffs.iter().zip(&b_basis) {
+                // L_f(x^α) − λ·x^α as the multiplier of coefficient c_α.
+                let mono = Polynomial::term(1.0, m.clone());
+                let lie_m = lie_derivative(&mono, &field);
+                let mult = &lie_m - &(&lambda * &mono);
+                e15 = e15.add_term(mult, *c);
+            }
+            for psi in system.domain().polys() {
+                let f = prog.add_sos(self.cfg.multiplier_degree);
+                e15 = e15.add_term(-psi, f);
+            }
+            if robust {
+                let w = Polynomial::var(n);
+                let wball = &Polynomial::constant(sigma * sigma) - &(&w * &w);
+                let fw = prog.add_sos(self.cfg.multiplier_degree);
+                e15 = e15.add_term(-&wball, fw);
+            }
+            prog.require_sos(e15);
+
+            // Normalization: B(center of Θ) ≥ ρ (linear equality with slack —
+            // encoded as B(c) − ρ − s = 0, s ≥ 0 via a degree-0 SOS unknown).
+            let slack = prog.add_sos(0);
+            let mut norm = SosExpr::from_poly(Polynomial::constant(-self.cfg.rho))
+                .add_scaled_unknown(-1.0, slack);
+            for (c, m) in b_coeffs.iter().zip(&b_basis) {
+                norm = norm.add_scaled_unknown(m.eval(&theta_center), *c);
+            }
+            prog.require_zero(norm);
+
+            // Bound the single big solve by the remaining budget so one
+            // monolithic SDP cannot blow through the tool's deadline.
+            let remaining = self
+                .cfg
+                .time_limit
+                .saturating_sub(t0.elapsed());
+            let solver = snbc_sdp::SdpSolver {
+                time_limit: Some(remaining),
+                ..Default::default()
+            };
+            match prog.solve(&solver) {
+                Ok(sol) => {
+                    let mut barrier = Polynomial::zero();
+                    for (c, m) in b_coeffs.iter().zip(&b_basis) {
+                        barrier.add_term(sol.poly(*c).constant_term(), m.clone());
+                    }
+                    let barrier = barrier.prune(1e-10);
+                    return SynthesisReport {
+                        tool: "SOSTOOLS",
+                        benchmark: bench.name.to_string(),
+                        success: true,
+                        barrier_degree: Some(barrier.degree()),
+                        iterations: attempt,
+                        t_learn: Duration::ZERO,
+                        t_cex: Duration::ZERO,
+                        t_verify: t0.elapsed(),
+                        t_total: t0.elapsed(),
+                        barrier: Some(barrier),
+                        failure: None,
+                    };
+                }
+                Err(SosError::Infeasible { .. }) => continue,
+                Err(_) => continue,
+            }
+        }
+        SynthesisReport::failed(
+            "SOSTOOLS",
+            bench.name,
+            self.cfg.attempts,
+            t0.elapsed(),
+            "×",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snbc_dynamics::benchmarks;
+
+    fn trivial_inclusion(law: &str) -> PolynomialInclusion {
+        PolynomialInclusion {
+            h: law.parse().unwrap(),
+            sigma_tilde: 0.0,
+            sigma_star: 0.0,
+            lipschitz: 0.0,
+            covering_radius: 0.0,
+            mesh_points: 0,
+        }
+    }
+
+    #[test]
+    fn direct_synthesis_on_small_benchmark() {
+        let bench = benchmarks::benchmark(3);
+        let report =
+            SosTools::new(SosToolsConfig::default()).synthesize(&bench, &trivial_inclusion("-0.5*x0"));
+        assert!(report.success, "SOSTOOLS failed: {:?}", report.failure);
+        let b = report.barrier.unwrap();
+        // The synthesized barrier separates Θ from Ξ.
+        assert!(b.eval(&bench.system.init().box_center()) > 0.0);
+        assert!(b.eval(&bench.system.unsafe_set().box_center()) < 0.0);
+    }
+
+    #[test]
+    fn gives_up_cleanly_when_degree_insufficient() {
+        // Degree-0 barrier cannot separate anything.
+        let bench = benchmarks::benchmark(3);
+        let cfg = SosToolsConfig {
+            barrier_degree: 0,
+            attempts: 2,
+            ..Default::default()
+        };
+        let report = SosTools::new(cfg).synthesize(&bench, &trivial_inclusion("-0.5*x0"));
+        assert!(!report.success);
+        assert_eq!(report.failure.as_deref(), Some("×"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **split vs joint LMI** — the paper's key verifier trick is solving
+//!   (13)–(15) as three independent programs; the ablation times the same
+//!   certificate checked via one joint SOS program;
+//! * **multiplier degree** — scalar S-procedure multipliers vs degree-2 SOS
+//!   multipliers in the flow condition;
+//! * **counterexample ball vs single point** — §4.3 argues the γ-ball
+//!   accelerates convergence; the ablation times full CEGIS runs with
+//!   `ball_samples = 24` vs `= 1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use snbc::{CexConfig, Snbc, SnbcConfig, Verifier, VerifierConfig};
+use snbc_bench::{pretrain_controller, shared_inclusion};
+use snbc_dynamics::benchmarks;
+use snbc_poly::{lie_derivative, Polynomial};
+use snbc_sos::{SosExpr, SosProgram};
+
+/// A fixed certified barrier for C3 to make verification ablations
+/// deterministic (obtained from a converged run).
+fn fixed_barrier() -> Polynomial {
+    "-0.58*x0^2 - 0.82*x0*x1 - 0.53*x1^2 - 1.4*x0 - 0.88*x1 + 4.34"
+        .parse()
+        .unwrap()
+}
+
+fn split_vs_joint(c: &mut Criterion) {
+    let bench = benchmarks::benchmark(3);
+    let controller = pretrain_controller(&bench);
+    let inclusion = shared_inclusion(&bench, &controller);
+    let b = fixed_barrier();
+
+    c.bench_function("verify/split_three_lmi", |bch| {
+        bch.iter(|| {
+            let v = Verifier::new(&bench.system, &inclusion, VerifierConfig::default());
+            let out = v.verify(&b);
+            black_box(out.is_certified())
+        })
+    });
+
+    c.bench_function("verify/joint_single_program", |bch| {
+        bch.iter(|| {
+            // One SosProgram holding all three constraints simultaneously:
+            // the margin variable and every Gram block sit in a single SDP.
+            let system = &bench.system;
+            let n = system.nvars();
+            let field = system.close_loop_with_error(&inclusion.h);
+            let lie = lie_derivative(&b, &field);
+            let mut prog = SosProgram::new(n + 1);
+            // (13)
+            let mut e13 = SosExpr::from_poly(b.clone());
+            for theta in system.init().polys() {
+                let s = prog.add_sos(2);
+                e13 = e13.add_term(-theta, s);
+            }
+            prog.require_sos(e13);
+            // (14)
+            let mut e14 = SosExpr::from_poly(&(-&b) - &Polynomial::constant(1e-4));
+            for xi in system.unsafe_set().polys() {
+                let d = prog.add_sos(2);
+                e14 = e14.add_term(-xi, d);
+            }
+            prog.require_sos(e14);
+            // (15)
+            let lambda = prog.add_free_restricted(1, n);
+            let mut e15 =
+                SosExpr::from_poly(&lie - &Polynomial::constant(1e-4)).add_term(-&b, lambda);
+            for psi in system.domain().polys() {
+                let f = prog.add_sos(2);
+                e15 = e15.add_term(-psi, f);
+            }
+            let w = Polynomial::var(n);
+            let sig = inclusion.sigma_star;
+            let wball = &Polynomial::constant(sig * sig) - &(&w * &w);
+            let fw = prog.add_sos(2);
+            e15 = e15.add_term(-&wball, fw);
+            prog.require_sos(e15);
+            black_box(prog.solve_default().is_ok())
+        })
+    });
+}
+
+fn multiplier_degree(c: &mut Criterion) {
+    let bench = benchmarks::benchmark(8); // 4-D, ball sets
+    let controller = pretrain_controller(&bench);
+    let inclusion = shared_inclusion(&bench, &controller);
+    // A plausible quadratic candidate for the ablation: the ball-shaped
+    // separator.
+    let b: Polynomial = "1 - 0.5*x0^2 - 0.5*x1^2 - 0.5*x2^2 - 0.5*x3^2 - 0.4*x0"
+        .parse()
+        .unwrap();
+    for deg in [0u32, 2] {
+        c.bench_function(&format!("verify/multiplier_degree_{deg}"), |bch| {
+            bch.iter(|| {
+                let v = Verifier::new(
+                    &bench.system,
+                    &inclusion,
+                    VerifierConfig {
+                        multiplier_degree: deg,
+                        ..Default::default()
+                    },
+                );
+                black_box(v.verify(&b).is_certified())
+            })
+        });
+    }
+}
+
+fn cex_ball_vs_point(c: &mut Criterion) {
+    let bench = benchmarks::benchmark(1);
+    let controller = pretrain_controller(&bench);
+    for (label, samples) in [("ball24", 24usize), ("single", 1)] {
+        c.bench_function(&format!("cegis/cex_{label}"), |bch| {
+            bch.iter(|| {
+                let cfg = SnbcConfig {
+                    cex: CexConfig {
+                        ball_samples: samples,
+                        ..Default::default()
+                    },
+                    learner: snbc::LearnerConfig {
+                        epochs: 60, // undertrained so counterexample rounds occur
+                        ..Default::default()
+                    },
+                    time_limit: Duration::from_secs(600),
+                    ..Default::default()
+                };
+                let r = Snbc::new(cfg).synthesize(&bench, &controller);
+                black_box(r.map(|x| x.iterations).unwrap_or(usize::MAX))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(20));
+    targets = split_vs_joint, multiplier_degree, cex_ball_vs_point
+}
+criterion_main!(benches);

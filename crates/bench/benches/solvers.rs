@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the solver substrates: the Chebyshev LP (§3), the SDP
+//! behind one LMI feasibility test (§4.2), SOS certification, and the
+//! interval branch-and-bound used by the SMT-style baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snbc_interval::{BranchAndBound, Interval};
+use snbc_lp::{solve_inequality, LpOptions};
+use snbc_poly::Polynomial;
+use snbc_sdp::{BlockShape, SdpProblem, SdpSolver};
+use snbc_sos::{SosExpr, SosProgram};
+
+fn chebyshev_lp(c: &mut Criterion) {
+    // Degree-3 fit of tanh on 200 mesh points: the §3 LP at realistic size.
+    let xs: Vec<f64> = (0..200).map(|i| -1.0 + 2.0 * i as f64 / 199.0).collect();
+    let mut rows = Vec::new();
+    let mut rhs = Vec::new();
+    for &x in &xs {
+        let k = (2.0 * x).tanh();
+        rows.push(vec![1.0, x, x * x, x * x * x, -1.0]);
+        rhs.push(k);
+        rows.push(vec![-1.0, -x, -x * x, -x * x * x, -1.0]);
+        rhs.push(-k);
+    }
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let g = snbc_linalg::Matrix::from_rows(&row_refs);
+    let obj = [0.0, 0.0, 0.0, 0.0, 1.0];
+    c.bench_function("lp/chebyshev_200pts_deg3", |b| {
+        b.iter(|| {
+            let sol = solve_inequality(&obj, &g, &rhs, &LpOptions::default()).unwrap();
+            black_box(sol.objective)
+        })
+    });
+}
+
+fn sdp_feasibility(c: &mut Criterion) {
+    // A representative block SDP: min tr over one 10×10 block + diag block.
+    let build = || {
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(10), BlockShape::Diag(4)]);
+        for i in 0..10 {
+            p.set_cost(0, i, i, 1.0);
+        }
+        for i in 0..10 {
+            let k = p.add_constraint(1.0 + 0.1 * i as f64);
+            p.set_coefficient(k, 0, i, i, 1.0);
+            p.set_coefficient(k, 1, i % 4, i % 4, 0.5);
+        }
+        for i in 0..9 {
+            let k = p.add_constraint(0.2);
+            p.set_coefficient(k, 0, i, i + 1, 1.0);
+        }
+        p
+    };
+    let p = build();
+    c.bench_function("sdp/block10_19constraints", |b| {
+        b.iter(|| {
+            let sol = SdpSolver::default().solve(&p).unwrap();
+            black_box(sol.primal_objective)
+        })
+    });
+}
+
+fn sos_certify(c: &mut Criterion) {
+    // Certify a 3-variable degree-4 SOS polynomial (the size class of the
+    // flow-condition certificates on 2-D benchmarks).
+    let p: Polynomial = "(x0^2 + x1^2 + x2^2 - x0*x1 + 0.5*x1*x2)^2 + (x0 - x1 + 0.3*x2)^2 + 0.1"
+        .parse()
+        .unwrap();
+    c.bench_function("sos/certify_3var_deg4", |b| {
+        b.iter(|| {
+            let mut prog = SosProgram::new(3);
+            prog.require_sos(SosExpr::from_poly(p.clone()));
+            let sol = prog.solve_default().unwrap();
+            black_box(sol.margin())
+        })
+    });
+}
+
+fn interval_bb(c: &mut Criterion) {
+    // The dReal-substitute on a tight 3-D positivity query.
+    let p: Polynomial = "x0^2 + x1^2 + x2^2 - x0*x1 - x1*x2 + 0.05".parse().unwrap();
+    let domain = vec![Interval::new(-1.0, 1.0); 3];
+    c.bench_function("interval/bb_3var_tight", |b| {
+        b.iter(|| {
+            let rep = BranchAndBound::default().check_at_least(&p, &domain, &[], 0.0);
+            black_box(rep.boxes_processed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = chebyshev_lp, sdp_feasibility, sos_certify, interval_bb
+}
+criterion_main!(benches);

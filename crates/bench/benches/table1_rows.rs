@@ -1,0 +1,40 @@
+//! End-to-end SNBC synthesis timing on representative Table 1 rows (the fast
+//! low-dimensional ones; the full grid is the `table1` binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use snbc::{Snbc, SnbcConfig};
+use snbc_bench::pretrain_controller;
+use snbc_dynamics::benchmarks;
+
+fn bench_row(c: &mut Criterion, id: usize) {
+    let bench = benchmarks::benchmark(id);
+    let controller = pretrain_controller(&bench);
+    c.bench_function(&format!("snbc/{}", bench.name), |b| {
+        b.iter(|| {
+            let cfg = SnbcConfig {
+                time_limit: Duration::from_secs(600),
+                ..Default::default()
+            };
+            let r = Snbc::new(cfg)
+                .synthesize(&bench, &controller)
+                .expect("benchmark certifies");
+            black_box(r.iterations)
+        })
+    });
+}
+
+fn rows(c: &mut Criterion) {
+    for id in [1, 3, 5] {
+        bench_row(c, id);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(30));
+    targets = rows
+}
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! The `snbc` command-line tool.
+//!
+//! ```text
+//! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>]
+//! snbc check <system-file> <certificate-file> [--deep]
+//! snbc falsify <system-file>
+//! snbc example
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use snbc::certificate::SafetyCertificate;
+use snbc::falsify::{falsify, FalsifyConfig};
+use snbc::{Snbc, SnbcConfig};
+use snbc_cli::{parse_system, ControllerSpec, SystemFile, EXAMPLE_SYSTEM};
+use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
+use snbc_nn::{train_controller, ControllerTraining, Mlp};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("synth") => {
+            let path = it.next().ok_or("synth needs a system file")?;
+            let mut out = None;
+            let mut timeout = 600u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    "--timeout" => {
+                        timeout = it
+                            .next()
+                            .ok_or("--timeout needs seconds")?
+                            .parse()
+                            .map_err(|_| "bad --timeout value".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            synth(path, out.as_deref(), timeout)
+        }
+        Some("check") => {
+            let sys_path = it.next().ok_or("check needs a system file")?;
+            let cert_path = it.next().ok_or("check needs a certificate file")?;
+            let deep = it.next().map(String::as_str) == Some("--deep");
+            check(sys_path, cert_path, deep)
+        }
+        Some("falsify") => {
+            let path = it.next().ok_or("falsify needs a system file")?;
+            falsify_cmd(path)
+        }
+        Some("example") => {
+            print!("{EXAMPLE_SYSTEM}");
+            Ok(())
+        }
+        _ => Err(
+            "usage: snbc synth <file> [--out <path>] [--timeout <secs>] | \
+             snbc check <file> <cert> [--deep] | snbc falsify <file> | snbc example"
+                .into(),
+        ),
+    }
+}
+
+fn load(path: &str) -> Result<SystemFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_system(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Wraps a parsed description as a [`Benchmark`] so the standard pipeline
+/// applies (default network shapes; the controller comes from the file).
+fn as_benchmark(sf: &SystemFile) -> (Benchmark, Mlp) {
+    let n = sf.system.nvars();
+    let controller = match &sf.controller {
+        ControllerSpec::Train(law) => {
+            let law = law.clone();
+            train_controller(
+                sf.system.domain().bounding_box(),
+                move |x| law.eval(x),
+                &ControllerTraining::default(),
+            )
+        }
+        ControllerSpec::Polynomial(p) => {
+            // Fit a tiny MLP to the polynomial so the standard pipeline
+            // (which abstracts an NN controller) applies unchanged; the
+            // Chebyshev fit will recover the polynomial almost exactly.
+            let p = p.clone();
+            train_controller(
+                sf.system.domain().bounding_box(),
+                move |x| p.eval(x),
+                &ControllerTraining {
+                    epochs: 800,
+                    ..Default::default()
+                },
+            )
+        }
+    };
+    let bench = Benchmark {
+        name: "cli",
+        index: 0,
+        system: sf.system.clone(),
+        target_law: |_| 0.0, // unused: the controller is supplied directly
+        nn_b_hidden: vec![(4 * n).clamp(5, 20)],
+        lambda_spec: LambdaSpec::Linear(vec![5]),
+        citation: "user-supplied system description",
+        d_f: sf.system.field_degree(),
+    };
+    (bench, controller)
+}
+
+fn synth(path: &str, out: Option<&str>, timeout: u64) -> Result<(), String> {
+    let sf = load(path)?;
+    let (bench, controller) = as_benchmark(&sf);
+    let cfg = SnbcConfig {
+        time_limit: Duration::from_secs(timeout),
+        ..Default::default()
+    };
+    let result = Snbc::new(cfg)
+        .synthesize(&bench, &controller)
+        .map_err(|e| e.to_string())?;
+    println!("certified after {} iteration(s)", result.iterations);
+    println!("B(x) = {}", result.barrier);
+    println!("lambda(x) = {}", result.lambda);
+    println!(
+        "margins: init {:.4}, unsafe {:.4}, flow {:.4}; sigma* = {:.4}",
+        result.verification.init.margin,
+        result.verification.unsafe_.margin,
+        result.verification.flow.margin,
+        result.inclusion.sigma_star
+    );
+    let cert = SafetyCertificate::from_result(&sf.name, &result);
+    match out {
+        Some(path) => {
+            std::fs::write(path, cert.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("certificate written to {path}");
+        }
+        None => print!("\n{cert}"),
+    }
+    Ok(())
+}
+
+fn check(sys_path: &str, cert_path: &str, deep: bool) -> Result<(), String> {
+    let sf = load(sys_path)?;
+    let text = std::fs::read_to_string(cert_path)
+        .map_err(|e| format!("cannot read {cert_path}: {e}"))?;
+    let cert: SafetyCertificate = text.parse().map_err(|e| format!("{cert_path}: {e}"))?;
+    if cert.system != sf.name {
+        return Err(format!(
+            "certificate is for system `{}`, file describes `{}`",
+            cert.system, sf.name
+        ));
+    }
+    if cert.validate(&sf.system, deep) {
+        println!(
+            "certificate VALID for `{}`{}",
+            sf.name,
+            if deep { " (LMI + interval re-check)" } else { " (LMI re-check)" }
+        );
+        Ok(())
+    } else {
+        Err("certificate did NOT validate".into())
+    }
+}
+
+fn falsify_cmd(path: &str) -> Result<(), String> {
+    let sf = load(path)?;
+    let (bench, controller) = as_benchmark(&sf);
+    match falsify(&bench.system, |x| controller.forward(x), &FalsifyConfig::default()) {
+        Some(cex) => {
+            println!("UNSAFE: trajectory from {:?} enters the unsafe set", cex.initial);
+            println!(
+                "  reaches {:?} after {} steps",
+                cex.trajectory.states[cex.entry_step], cex.entry_step
+            );
+            Err("system falsified; no barrier certificate can exist".into())
+        }
+        None => {
+            println!("no unsafe trajectory found by simulation (evidence, not proof)");
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The CEGIS driver (Algorithm 1): Learner ⇄ Verifier with counterexample
+//! feedback, plus the per-phase timing bookkeeping of Table 1.
+
+use std::time::{Duration, Instant};
+
+use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
+use snbc_nn::{Mlp, MultiplierNet, QuadraticNet};
+use snbc_poly::{lie_derivative, Polynomial};
+
+use crate::cex::{find_counterexample, CexConfig, ViolatedCondition};
+use crate::{
+    ApproxOptions, Learner, LearnerConfig, PolynomialInclusion,
+    SnbcError, TrainingSets, VerificationOutcome, Verifier, VerifierConfig,
+};
+
+/// Configuration of the full SNBC pipeline.
+#[derive(Debug, Clone)]
+pub struct SnbcConfig {
+    /// Controller-abstraction options (§3).
+    pub approx: ApproxOptions,
+    /// Learner options (§4.1).
+    pub learner: LearnerConfig,
+    /// Verifier options (§4.2).
+    pub verifier: VerifierConfig,
+    /// Counterexample options (§4.3).
+    pub cex: CexConfig,
+    /// Initial per-set sample count (`|S_I| = |S_U| = |S_D|`).
+    pub batch: usize,
+    /// Maximum CEGIS iterations (`Iter` in Algorithm 1).
+    pub max_iterations: usize,
+    /// Wall-clock budget; exceeded ⇒ [`SnbcError::Timeout`] (the paper's OT
+    /// at 7200 s).
+    pub time_limit: Duration,
+    /// After this many consecutive rounds in which verification failed but no
+    /// counterexample existed (an SOS relaxation gap rather than a real
+    /// violation), the networks are re-initialized with a fresh seed: the
+    /// sample-feasible region contains many candidates and re-seeding moves
+    /// the learner to a different — often certifiable — basin.
+    pub reseed_after_plateau: usize,
+    /// RNG seed for sampling and network initialization.
+    pub seed: u64,
+}
+
+impl Default for SnbcConfig {
+    fn default() -> Self {
+        SnbcConfig {
+            approx: ApproxOptions::default(),
+            learner: LearnerConfig::default(),
+            verifier: VerifierConfig::default(),
+            cex: CexConfig::default(),
+            batch: 300,
+            max_iterations: 30,
+            time_limit: Duration::from_secs(7200),
+            reseed_after_plateau: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a successful synthesis run, including the Table 1 timing
+/// columns.
+#[derive(Debug, Clone)]
+pub struct SnbcResult {
+    /// The verified barrier certificate `B(x)`.
+    pub barrier: Polynomial,
+    /// The multiplier `λ(x)` solved by the flow LMI (15).
+    pub lambda: Polynomial,
+    /// The controller abstraction used (§3).
+    pub inclusion: PolynomialInclusion,
+    /// Final (successful) verification outcome with margins.
+    pub verification: VerificationOutcome,
+    /// CEGIS iterations used (`I_s`).
+    pub iterations: usize,
+    /// Learning time (`T_l`).
+    pub t_learn: Duration,
+    /// Counterexample-generation time (`T_c`).
+    pub t_cex: Duration,
+    /// Verification time (`T_v`).
+    pub t_verify: Duration,
+    /// End-to-end time (`T_e`), including the controller abstraction.
+    pub t_total: Duration,
+}
+
+/// The SNBC synthesizer (Algorithm 1).
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug, Clone)]
+pub struct Snbc {
+    cfg: SnbcConfig,
+}
+
+impl Snbc {
+    /// Creates a synthesizer with the given configuration.
+    pub fn new(cfg: SnbcConfig) -> Self {
+        Snbc { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SnbcConfig {
+        &self.cfg
+    }
+
+    /// Runs Algorithm 1 on a benchmark with its pre-trained NN controller.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnbcError::Approximation`] — the §3 LP failed;
+    /// * [`SnbcError::IterationsExhausted`] — no certificate within the
+    ///   iteration budget;
+    /// * [`SnbcError::Timeout`] — the wall-clock budget tripped (`OT`).
+    pub fn synthesize(&self, bench: &Benchmark, controller: &Mlp) -> Result<SnbcResult, SnbcError> {
+        let t0 = Instant::now();
+        let system = &bench.system;
+        let n = system.nvars();
+
+        // Step 1 (§3): polynomial inclusion of the controller, with the
+        // interval-certified error bound (tighter than the raw Theorem 2
+        // Lipschitz gap, especially in high dimension).
+        let inclusion =
+            crate::approximate_mlp(controller, system.domain().bounding_box(), &self.cfg.approx)?;
+
+        // Step 2: initialize networks per the benchmark's Table 1 shapes.
+        let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, self.cfg.seed);
+        let lambda_net = match &bench.lambda_spec {
+            LambdaSpec::Constant => MultiplierNet::constant(-0.5),
+            LambdaSpec::Linear(hidden) => MultiplierNet::linear(n, hidden, self.cfg.seed + 1),
+        };
+        let mut learner = Learner::new(b_net, lambda_net, self.cfg.learner.clone());
+        // Sample counts scale with the dimension: the violating region of a
+        // failing condition occupies an ever-smaller solid angle as n grows.
+        let batch = self.cfg.batch + 50 * n;
+        let mut sets = TrainingSets::sample(system, batch, self.cfg.seed + 2);
+        let closed_nominal = system.close_loop(&inclusion.h);
+        if n >= 6 {
+            warm_start_lyapunov(&mut learner, system, &closed_nominal, &sets);
+        }
+
+        // Training and counterexample search both use the robust closed loop
+        // with the error variable `w` in slot `n` (w = ±σ* extremes).
+        let closed_robust = system.close_loop_with_error(&inclusion.h);
+
+        let mut t_learn = Duration::ZERO;
+        let mut t_cex = Duration::ZERO;
+        let mut t_verify = Duration::ZERO;
+        let mut best_margin = f64::NEG_INFINITY;
+        let mut plateau = 0usize;
+
+        for iter in 1..=self.cfg.max_iterations {
+            if t0.elapsed() > self.cfg.time_limit {
+                return Err(SnbcError::Timeout {
+                    elapsed: t0.elapsed().as_secs_f64(),
+                });
+            }
+
+            // Learner (step 3 / step 9).
+            let tl = Instant::now();
+            learner.train(&closed_robust, inclusion.sigma_star, &sets);
+            t_learn += tl.elapsed();
+            let b = learner.barrier_polynomial().prune(1e-9);
+
+            // Verifier (step 5). The multiplier degree follows the
+            // benchmark's NN_λ(x) specification (Table 1): a constant
+            // multiplier shrinks the flow certificate's basis — for the
+            // high-dimensional rows this is the difference between a
+            // 105-row and a 2380-row SDP.
+            let mut vcfg = self.cfg.verifier.clone();
+            if matches!(bench.lambda_spec, LambdaSpec::Constant) {
+                vcfg.lambda_degree = vcfg.lambda_degree.min(0);
+            }
+            let verifier = Verifier::new(system, &inclusion, vcfg);
+            let outcome = verifier.verify(&b);
+            t_verify += outcome.total_time();
+
+            if outcome.is_certified() {
+                let lambda = outcome
+                    .flow
+                    .lambda
+                    .clone()
+                    .expect("feasible flow problem returns lambda");
+                return Ok(SnbcResult {
+                    barrier: b,
+                    lambda,
+                    inclusion,
+                    verification: outcome,
+                    iterations: iter,
+                    t_learn,
+                    t_cex,
+                    t_verify,
+                    t_total: t0.elapsed(),
+                });
+            }
+            best_margin = best_margin
+                .max(outcome.init.margin.min(outcome.unsafe_.margin).min(outcome.flow.margin));
+
+            // Counterexamples (steps 7–8).
+            let tc = Instant::now();
+            let mut added = self.feed_counterexamples(
+                &outcome,
+                &b,
+                &learner,
+                &closed_robust,
+                &inclusion,
+                system,
+                &mut sets,
+                iter,
+            );
+            if added == 0 {
+                // Gradient ascent found no violating sample although SOS
+                // verification failed: fall back to the δ-complete interval
+                // oracle, which finds true violations (or certifies there are
+                // none, in which case the failure is a relaxation gap and
+                // fresh samples sharpen the candidate's margins).
+                added = self.interval_counterexamples(
+                    &outcome,
+                    &b,
+                    &learner,
+                    &closed_robust,
+                    &inclusion,
+                    system,
+                    &mut sets,
+                );
+            }
+            t_cex += tc.elapsed();
+            if added == 0 {
+                plateau += 1;
+                if plateau >= self.cfg.reseed_after_plateau {
+                    // Relaxation-gap plateau: restart the learner in a fresh
+                    // basin (new initialization + fresh samples).
+                    plateau = 0;
+                    let reseed = self.cfg.seed + 1000 * iter as u64;
+                    let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, reseed);
+                    let lambda_net = match &bench.lambda_spec {
+                        LambdaSpec::Constant => MultiplierNet::constant(-0.5),
+                        LambdaSpec::Linear(hidden) => {
+                            MultiplierNet::linear(n, hidden, reseed + 1)
+                        }
+                    };
+                    learner = Learner::new(b_net, lambda_net, self.cfg.learner.clone());
+                    sets = TrainingSets::sample(system, batch, reseed + 2);
+                    if n >= 6 {
+                        warm_start_lyapunov(&mut learner, system, &closed_nominal, &sets);
+                    }
+                } else {
+                    let extra = TrainingSets::sample(
+                        system,
+                        self.cfg.batch / 4,
+                        self.cfg.seed + 100 + iter as u64,
+                    );
+                    sets.init.extend(extra.init);
+                    sets.unsafe_.extend(extra.unsafe_);
+                    sets.domain.extend(extra.domain);
+                }
+            } else {
+                plateau = 0;
+            }
+        }
+        Err(SnbcError::IterationsExhausted {
+            iterations: self.cfg.max_iterations,
+            best_margin,
+        })
+    }
+
+    /// Generates counterexamples for every failed condition and pushes them
+    /// into the training sets; returns the number of points added.
+    #[allow(clippy::too_many_arguments)]
+    fn feed_counterexamples(
+        &self,
+        outcome: &VerificationOutcome,
+        b: &Polynomial,
+        learner: &Learner,
+        closed_robust: &[Polynomial],
+        inclusion: &PolynomialInclusion,
+        system: &snbc_dynamics::Ccds,
+        sets: &mut TrainingSets,
+        iter: usize,
+    ) -> usize {
+        let mut cfg = self.cfg.cex.clone();
+        cfg.seed = self.cfg.cex.seed + iter as u64;
+        let mut added = 0;
+        if !outcome.init.feasible {
+            // Violation of (i): v = −B on Θ.
+            let v = -b;
+            if let Some(cex) = find_counterexample(&v, system.init(), ViolatedCondition::Init, &cfg)
+            {
+                added += cex.points.len();
+                sets.init.extend(cex.points);
+            }
+        }
+        if !outcome.unsafe_.feasible {
+            // Violation of (ii): v = B on Ξ.
+            if let Some(cex) =
+                find_counterexample(b, system.unsafe_set(), ViolatedCondition::Unsafe, &cfg)
+            {
+                added += cex.points.len();
+                sets.unsafe_.extend(cex.points);
+            }
+        }
+        if !outcome.flow.feasible {
+            // Violation of (iii): v = −(L_f B − λ̃B) over Ψ × [−σ*, σ*] with
+            // the learned λ̃ — the search includes the error coordinate `w`,
+            // which is dropped before feeding the point back to `S_D`.
+            let v = flow_violation(b, &learner.lambda_polynomial(), closed_robust);
+            let ext = extended_domain(system, inclusion.sigma_star);
+            if let Some(cex) = find_counterexample(&v, &ext, ViolatedCondition::Flow, &cfg) {
+                let n = system.nvars();
+                added += cex.points.len();
+                sets.domain
+                    .extend(cex.points.into_iter().map(|mut p| {
+                        p.truncate(n);
+                        p
+                    }));
+            }
+        }
+        added
+    }
+
+    /// δ-complete fallback oracle: asks the interval verifier for concrete
+    /// violations of each failed condition. Returns points added.
+    #[allow(clippy::too_many_arguments)]
+    fn interval_counterexamples(
+        &self,
+        outcome: &VerificationOutcome,
+        b: &Polynomial,
+        learner: &Learner,
+        closed_robust: &[Polynomial],
+        inclusion: &PolynomialInclusion,
+        system: &snbc_dynamics::Ccds,
+        sets: &mut TrainingSets,
+    ) -> usize {
+        use snbc_interval::{BranchAndBound, Interval, Verdict};
+        let bb = BranchAndBound {
+            delta: 1e-3,
+            max_boxes: 200_000,
+            ..Default::default()
+        };
+        let boxed = |set: &snbc_dynamics::SemiAlgebraicSet| -> Vec<Interval> {
+            set.bounding_box()
+                .iter()
+                .map(|&(lo, hi)| Interval::new(lo, hi))
+                .collect()
+        };
+        let mut added = 0;
+        if !outcome.init.feasible {
+            let r = bb.check_at_least(b, &boxed(system.init()), system.init().polys(), 0.0);
+            if let Verdict::Violated { witness, .. } = r.verdict {
+                sets.init.push(witness);
+                added += 1;
+            }
+        }
+        if !outcome.unsafe_.feasible {
+            let neg_b = -b;
+            let r = bb.check_at_least(
+                &neg_b,
+                &boxed(system.unsafe_set()),
+                system.unsafe_set().polys(),
+                1e-12,
+            );
+            if let Verdict::Violated { witness, .. } = r.verdict {
+                sets.unsafe_.push(witness);
+                added += 1;
+            }
+        }
+        if !outcome.flow.feasible {
+            let lie = lie_derivative(b, closed_robust);
+            let lambda = learner.lambda_polynomial();
+            let expr = &lie - &(&lambda * b);
+            let mut dom = boxed(system.domain());
+            let sigma = inclusion.sigma_star.max(1e-9);
+            dom.push(Interval::new(-sigma, sigma));
+            let r = bb.check_at_least(&expr, &dom, system.domain().polys(), 0.0);
+            if let Verdict::Violated { mut witness, .. } = r.verdict {
+                witness.truncate(system.nvars());
+                sets.domain.push(witness);
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+/// Seeds the learner with a Lyapunov-shaped candidate `β − xᵀPx`, where `P`
+/// solves `AᵀP + PA = −I` for the linearized closed loop `A` — the canonical
+/// member of the S-procedure-certifiable basin for contractive systems (the
+/// high-dimensional Table 1 rows). Falls back to a sphere when the
+/// linearization is not Hurwitz.
+fn warm_start_lyapunov(
+    learner: &mut Learner,
+    system: &snbc_dynamics::Ccds,
+    closed_nominal: &[Polynomial],
+    sets: &TrainingSets,
+) {
+    let n = system.nvars();
+    let quad: Polynomial = match lyapunov_quadratic(closed_nominal, n) {
+        Some(p_mat) => {
+            let mut q = Polynomial::zero();
+            for i in 0..n {
+                for j in 0..n {
+                    if p_mat[(i, j)] != 0.0 {
+                        let m = snbc_poly::Monomial::var(i).mul(&snbc_poly::Monomial::var(j));
+                        q.add_term(p_mat[(i, j)], m);
+                    }
+                }
+            }
+            q
+        }
+        None => {
+            let mut q = Polynomial::zero();
+            for i in 0..n {
+                q.add_term(1.0, snbc_poly::Monomial::var(i).mul(&snbc_poly::Monomial::var(i)));
+            }
+            q
+        }
+    };
+    // Level β: safely below the quadratic's value on Ξ, above it on Θ.
+    let min_xi = sets
+        .unsafe_
+        .iter()
+        .map(|x| quad.eval(x))
+        .fold(f64::INFINITY, f64::min);
+    let max_theta = sets
+        .init
+        .iter()
+        .map(|x| quad.eval(x))
+        .fold(0.0f64, f64::max);
+    let beta = if min_xi > max_theta {
+        0.5 * (min_xi + max_theta)
+    } else {
+        0.7 * min_xi
+    };
+    if !(beta > 0.0) {
+        return; // degenerate geometry; leave the random initialization
+    }
+    // Normalize so B(0-ish) ≈ 1: target = 1 − quad/β.
+    let target = &Polynomial::constant(1.0) - &quad.scale(1.0 / beta);
+    let samples: Vec<Vec<f64>> = sets
+        .domain
+        .iter()
+        .chain(&sets.init)
+        .chain(&sets.unsafe_)
+        .cloned()
+        .collect();
+    learner.warm_start(&target, &samples, 80);
+}
+
+/// Solves the Lyapunov equation `AᵀP + PA = −I` for the linear part `A` of
+/// the closed-loop field (evaluated at the origin, `w = 0`), via the
+/// Kronecker-vectorized `n² × n²` linear system. Returns `None` when the
+/// system is singular (non-Hurwitz linearization).
+fn lyapunov_quadratic(closed_nominal: &[Polynomial], n: usize) -> Option<snbc_linalg::Matrix> {
+    use snbc_linalg::Matrix;
+    // A[i][j] = coefficient of x_j in f_i (linear part only).
+    let a = Matrix::from_fn(n, n, |i, j| {
+        closed_nominal[i].coeff(&snbc_poly::Monomial::var(j))
+    });
+    // (Iⁿ ⊗ Aᵀ + Aᵀ ⊗ Iⁿ)·vec(P) = −vec(I), with vec column-major:
+    // vec index (i, j) ↦ j·n + i.
+    let dim = n * n;
+    let mut big = Matrix::zeros(dim, dim);
+    for i in 0..n {
+        for j in 0..n {
+            let row = j * n + i;
+            // (AᵀP)_{ij} = Σ_k A_{ki} P_{kj}.
+            for k in 0..n {
+                big[(row, j * n + k)] += a[(k, i)];
+                // (PA)_{ij} = Σ_k P_{ik} A_{kj}.
+                big[(row, k * n + i)] += a[(k, j)];
+            }
+        }
+    }
+    let mut rhs = vec![0.0; dim];
+    for i in 0..n {
+        rhs[i * n + i] = -1.0;
+    }
+    let sol = big.solve(&rhs).ok()?;
+    let mut p = Matrix::from_fn(n, n, |i, j| sol[j * n + i]);
+    p.symmetrize();
+    // Sanity: P must be positive definite for a Hurwitz A.
+    if p.min_eigenvalue().ok()? <= 0.0 {
+        return None;
+    }
+    Some(p)
+}
+
+/// The flow-violation polynomial `−(L_f B − λB)` over `(x, w)`.
+fn flow_violation(b: &Polynomial, lambda: &Polynomial, closed_robust: &[Polynomial]) -> Polynomial {
+    let lie = lie_derivative(b, closed_robust);
+    -&(&lie - &(lambda * b))
+}
+
+/// The domain `Ψ` extended with the error coordinate `w ∈ [−σ*, σ*]`.
+fn extended_domain(
+    system: &snbc_dynamics::Ccds,
+    sigma_star: f64,
+) -> snbc_dynamics::SemiAlgebraicSet {
+    let sigma = sigma_star.max(1e-9);
+    let mut bounds = system.domain().bounding_box().to_vec();
+    bounds.push((-sigma, sigma));
+    snbc_dynamics::SemiAlgebraicSet::from_polys(system.domain().polys().to_vec(), &bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snbc_dynamics::benchmarks;
+    use snbc_nn::{train_controller, ControllerTraining};
+
+    /// End-to-end on the easiest 2-D benchmark; this is the crate's core
+    /// acceptance test.
+    #[test]
+    fn synthesizes_certificate_for_c3() {
+        let bench = benchmarks::benchmark(3);
+        let controller = train_controller(
+            bench.system.domain().bounding_box(),
+            bench.target_law,
+            &ControllerTraining {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
+        let cfg = SnbcConfig {
+            max_iterations: 12,
+            ..Default::default()
+        };
+        let result = Snbc::new(cfg).synthesize(&bench, &controller).expect("certificate");
+        assert!(result.verification.is_certified());
+        assert_eq!(result.barrier.nvars() <= 2, true);
+        // The certificate separates: positive somewhere on Θ samples,
+        // negative on Ξ samples.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for x in bench.system.init().sample(20, &mut rng) {
+            assert!(result.barrier.eval(&x) >= -1e-6, "B < 0 on Θ at {x:?}");
+        }
+        for x in bench.system.unsafe_set().sample(20, &mut rng) {
+            assert!(result.barrier.eval(&x) < 0.0, "B ≥ 0 on Ξ at {x:?}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Portable safety certificates: a self-contained, re-checkable record of a
+//! successful synthesis run.
+//!
+//! A [`SafetyCertificate`] bundles everything a third party needs to validate
+//! the safety claim without trusting the synthesis pipeline: the barrier
+//! `B(x)`, the multiplier `λ(x)`, the controller abstraction `h(x)` with its
+//! error bound `σ*`, and the system description it refers to. It serializes
+//! to a line-oriented text format readable by this crate's own polynomial
+//! parser (no serialization dependencies), and [`SafetyCertificate::validate`]
+//! re-runs both soundness paths — the SOS/LMI feasibility tests and the
+//! δ-complete interval check.
+
+use std::fmt;
+use std::str::FromStr;
+
+use snbc_dynamics::benchmarks::Benchmark;
+use snbc_dynamics::Ccds;
+use snbc_interval::BranchAndBound;
+use snbc_poly::Polynomial;
+
+use crate::{
+    recheck_with_intervals, PolynomialInclusion, SnbcResult, Verifier, VerifierConfig,
+};
+
+/// A portable record of a verified barrier certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyCertificate {
+    /// Name of the system the certificate refers to.
+    pub system: String,
+    /// The barrier certificate `B(x)`.
+    pub barrier: Polynomial,
+    /// The multiplier `λ(x)` witnessing the flow condition.
+    pub lambda: Polynomial,
+    /// The polynomial controller abstraction `h(x)`.
+    pub controller: Polynomial,
+    /// The verified abstraction error bound `σ*`.
+    pub sigma_star: f64,
+}
+
+impl SafetyCertificate {
+    /// Extracts the certificate from a successful synthesis result.
+    pub fn from_result(system_name: impl Into<String>, result: &SnbcResult) -> Self {
+        SafetyCertificate {
+            system: system_name.into(),
+            barrier: result.barrier.clone(),
+            lambda: result.lambda.clone(),
+            controller: result.inclusion.h.clone(),
+            sigma_star: result.inclusion.sigma_star,
+        }
+    }
+
+    /// Re-validates the certificate against a system from scratch: the three
+    /// LMI feasibility tests and (optionally, `deep = true`) the independent
+    /// interval re-check.
+    ///
+    /// Returns `true` only when every check passes.
+    pub fn validate(&self, system: &Ccds, deep: bool) -> bool {
+        let inclusion = PolynomialInclusion {
+            h: self.controller.clone(),
+            sigma_tilde: self.sigma_star,
+            sigma_star: self.sigma_star,
+            lipschitz: 0.0,
+            covering_radius: 0.0,
+            mesh_points: 0,
+        };
+        let verifier = Verifier::new(system, &inclusion, VerifierConfig::default());
+        let outcome = verifier.verify(&self.barrier);
+        if !outcome.is_certified() {
+            return false;
+        }
+        if deep {
+            let lambda = outcome.flow.lambda.as_ref().unwrap_or(&self.lambda);
+            if !recheck_with_intervals(
+                &self.barrier,
+                lambda,
+                system,
+                &inclusion,
+                &BranchAndBound::default(),
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convenience: validate against the benchmark the certificate names.
+    pub fn validate_against(&self, bench: &Benchmark, deep: bool) -> bool {
+        self.system == bench.name && self.validate(&bench.system, deep)
+    }
+}
+
+/// The line-oriented text format: `key: value` pairs, polynomials in the
+/// crate's own syntax.
+impl fmt::Display for SafetyCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "snbc-certificate v1")?;
+        writeln!(f, "system: {}", self.system)?;
+        writeln!(f, "barrier: {}", self.barrier)?;
+        writeln!(f, "lambda: {}", self.lambda)?;
+        writeln!(f, "controller: {}", self.controller)?;
+        writeln!(f, "sigma_star: {}", self.sigma_star)
+    }
+}
+
+/// Error parsing a serialized certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseCertificateError {
+    message: String,
+}
+
+impl fmt::Display for ParseCertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid certificate: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCertificateError {}
+
+impl FromStr for SafetyCertificate {
+    type Err = ParseCertificateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ParseCertificateError {
+            message: m.to_string(),
+        };
+        let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| err("empty input"))?;
+        if header.trim() != "snbc-certificate v1" {
+            return Err(err("missing `snbc-certificate v1` header"));
+        }
+        let mut system = None;
+        let mut barrier = None;
+        let mut lambda = None;
+        let mut controller = None;
+        let mut sigma_star = None;
+        for line in lines {
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| err("expected `key: value`"))?;
+            let value = value.trim();
+            match key.trim() {
+                "system" => system = Some(value.to_string()),
+                "barrier" => {
+                    barrier =
+                        Some(value.parse::<Polynomial>().map_err(|e| err(&e.to_string()))?)
+                }
+                "lambda" => {
+                    lambda = Some(value.parse::<Polynomial>().map_err(|e| err(&e.to_string()))?)
+                }
+                "controller" => {
+                    controller =
+                        Some(value.parse::<Polynomial>().map_err(|e| err(&e.to_string()))?)
+                }
+                "sigma_star" => {
+                    sigma_star = Some(value.parse::<f64>().map_err(|_| err("bad sigma_star"))?)
+                }
+                other => return Err(err(&format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(SafetyCertificate {
+            system: system.ok_or_else(|| err("missing system"))?,
+            barrier: barrier.ok_or_else(|| err("missing barrier"))?,
+            lambda: lambda.ok_or_else(|| err("missing lambda"))?,
+            controller: controller.ok_or_else(|| err("missing controller"))?,
+            sigma_star: sigma_star.ok_or_else(|| err("missing sigma_star"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snbc_dynamics::SemiAlgebraicSet;
+
+    fn toy_certificate() -> (Ccds, SafetyCertificate) {
+        let sys = Ccds::new(
+            "toy",
+            vec!["-x0 + x1".parse().unwrap()],
+            SemiAlgebraicSet::box_set(&[(-0.5, 0.5)]),
+            SemiAlgebraicSet::box_set(&[(-2.0, 2.0)]),
+            SemiAlgebraicSet::box_set(&[(1.5, 2.0)]),
+        );
+        let cert = SafetyCertificate {
+            system: "toy".into(),
+            barrier: "1 - x0^2".parse().unwrap(),
+            lambda: Polynomial::zero(),
+            controller: Polynomial::zero(),
+            sigma_star: 0.0,
+        };
+        (sys, cert)
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let (_, cert) = toy_certificate();
+        let text = cert.to_string();
+        let back: SafetyCertificate = text.parse().unwrap();
+        assert_eq!(cert, back);
+    }
+
+    #[test]
+    fn validates_genuine_certificate() {
+        let (sys, cert) = toy_certificate();
+        assert!(cert.validate(&sys, true));
+    }
+
+    #[test]
+    fn rejects_tampered_certificate() {
+        let (sys, mut cert) = toy_certificate();
+        cert.barrier = "x0".parse().unwrap(); // not a barrier
+        assert!(!cert.validate(&sys, false));
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!("".parse::<SafetyCertificate>().is_err());
+        assert!("wrong header".parse::<SafetyCertificate>().is_err());
+        let missing = "snbc-certificate v1\nsystem: x\n";
+        let e = missing.parse::<SafetyCertificate>().unwrap_err();
+        assert!(e.to_string().contains("missing barrier"));
+        let unknown = "snbc-certificate v1\nfoo: bar\n";
+        assert!(unknown.parse::<SafetyCertificate>().is_err());
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use snbc_lp::LpError;
+use snbc_sos::SosError;
+
+/// Errors produced by the SNBC pipeline.
+#[derive(Debug)]
+pub enum SnbcError {
+    /// The Chebyshev-approximation LP of §3 failed.
+    Approximation(LpError),
+    /// The CEGIS loop exhausted its iteration budget without a verified
+    /// barrier certificate.
+    IterationsExhausted {
+        /// Iterations performed.
+        iterations: usize,
+        /// Margin of the closest failed verification attempt.
+        best_margin: f64,
+    },
+    /// The wall-clock budget was exceeded (the paper's `OT`).
+    Timeout {
+        /// Seconds elapsed when the budget tripped.
+        elapsed: f64,
+    },
+    /// An unrecoverable SOS/SDP failure (not mere infeasibility, which is
+    /// handled by counterexample generation).
+    Verifier(SosError),
+    /// Configuration problem.
+    Config(String),
+}
+
+impl fmt::Display for SnbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnbcError::Approximation(e) => write!(f, "controller approximation failed: {e}"),
+            SnbcError::IterationsExhausted {
+                iterations,
+                best_margin,
+            } => write!(
+                f,
+                "no barrier certificate after {iterations} CEGIS iterations (best margin {best_margin:.3e})"
+            ),
+            SnbcError::Timeout { elapsed } => {
+                write!(f, "time budget exceeded after {elapsed:.1} s (OT)")
+            }
+            SnbcError::Verifier(e) => write!(f, "verifier failure: {e}"),
+            SnbcError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for SnbcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnbcError::Approximation(e) => Some(e),
+            SnbcError::Verifier(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for SnbcError {
+    fn from(e: LpError) -> Self {
+        SnbcError::Approximation(e)
+    }
+}

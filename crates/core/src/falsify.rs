@@ -1,0 +1,137 @@
+//! Simulation-based falsification: a cheap pre-check that runs *before* any
+//! synthesis effort.
+//!
+//! If some trajectory from `Θ` reaches `Ξ`, no barrier certificate exists and
+//! the CEGIS loop would burn its entire budget discovering that the hard way.
+//! This module samples initial states, integrates the closed loop, and
+//! reports a concrete unsafe trajectory when it finds one — standard practice
+//! in safety tooling and the natural complement to certificate synthesis.
+
+use rand::SeedableRng;
+use snbc_dynamics::{simulate, Ccds, Trajectory};
+
+/// Options of the falsifier.
+#[derive(Debug, Clone)]
+pub struct FalsifyConfig {
+    /// Initial states sampled from `Θ`.
+    pub samples: usize,
+    /// Integration step.
+    pub dt: f64,
+    /// Steps per trajectory (horizon = `dt · steps`).
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FalsifyConfig {
+    fn default() -> Self {
+        FalsifyConfig {
+            samples: 64,
+            dt: 0.01,
+            steps: 2000,
+            seed: 29,
+        }
+    }
+}
+
+/// A concrete safety violation found by simulation.
+#[derive(Debug, Clone)]
+pub struct CounterexampleTrajectory {
+    /// The initial state in `Θ`.
+    pub initial: Vec<f64>,
+    /// The simulated trajectory (enters `Ξ`).
+    pub trajectory: Trajectory,
+    /// Index of the first sampled state inside `Ξ`.
+    pub entry_step: usize,
+}
+
+/// Searches for a trajectory from `Θ` into `Ξ` under the given controller.
+///
+/// Returns `None` when no sampled trajectory is unsafe (which is *evidence*,
+/// not proof, of safety — the certificate provides the proof). Trajectories
+/// are only followed while they remain in the domain `Ψ`; the barrier
+/// conditions say nothing about states outside it.
+///
+/// # Example
+///
+/// ```
+/// use snbc::falsify::{falsify, FalsifyConfig};
+/// use snbc_dynamics::benchmarks;
+///
+/// let bench = benchmarks::benchmark(3);
+/// // The stabilizing target law is safe: no counterexample trajectory.
+/// let cex = falsify(&bench.system, bench.target_law, &FalsifyConfig::default());
+/// assert!(cex.is_none());
+/// ```
+pub fn falsify(
+    system: &Ccds,
+    controller: impl Fn(&[f64]) -> f64,
+    cfg: &FalsifyConfig,
+) -> Option<CounterexampleTrajectory> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    for initial in system.init().sample(cfg.samples, &mut rng) {
+        let trajectory = simulate(system, &controller, &initial, cfg.dt, cfg.steps);
+        let mut inside = true;
+        for (step, x) in trajectory.states.iter().enumerate() {
+            if !system.domain().contains(x) {
+                inside = false;
+            }
+            if inside && system.unsafe_set().contains(x) {
+                return Some(CounterexampleTrajectory {
+                    initial,
+                    trajectory,
+                    entry_step: step,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snbc_dynamics::SemiAlgebraicSet;
+
+    /// A rigged system that drifts straight into the unsafe set.
+    fn unsafe_system() -> Ccds {
+        Ccds::new(
+            "drift",
+            vec!["1 + 0*x1".parse().unwrap()], // ẋ = 1 regardless of u
+            SemiAlgebraicSet::box_set(&[(-0.1, 0.1)]),
+            SemiAlgebraicSet::box_set(&[(-2.0, 2.0)]),
+            SemiAlgebraicSet::box_set(&[(1.0, 1.5)]),
+        )
+    }
+
+    #[test]
+    fn detects_unsafe_drift() {
+        let sys = unsafe_system();
+        let cex = falsify(&sys, |_| 0.0, &FalsifyConfig::default()).expect("drift is unsafe");
+        assert!(sys.unsafe_set().contains(&cex.trajectory.states[cex.entry_step]));
+        assert!(sys.init().contains(&cex.initial));
+        assert!(cex.entry_step > 0);
+    }
+
+    #[test]
+    fn stable_benchmark_has_no_counterexample() {
+        let bench = snbc_dynamics::benchmarks::benchmark(1);
+        let cex = falsify(&bench.system, bench.target_law, &FalsifyConfig::default());
+        assert!(cex.is_none());
+    }
+
+    #[test]
+    fn excursions_outside_domain_do_not_count() {
+        // System flies out of Ψ before the unsafe set's x-range: barrier
+        // semantics only constrain behaviour inside Ψ.
+        let sys = Ccds::new(
+            "escape",
+            vec!["10 + 0*x1".parse().unwrap()],
+            SemiAlgebraicSet::box_set(&[(-0.1, 0.1)]),
+            SemiAlgebraicSet::box_set(&[(-0.5, 0.5)]),
+            SemiAlgebraicSet::box_set(&[(1.0, 1.5)]),
+        );
+        let cex = falsify(&sys, |_| 0.0, &FalsifyConfig::default());
+        assert!(cex.is_none(), "exit through the domain boundary is not a violation");
+    }
+}

@@ -1,0 +1,39 @@
+//! Controlled continuous dynamical systems (CCDS) and the benchmark suite.
+//!
+//! Models the objects of §2 of the paper:
+//!
+//! * [`SemiAlgebraicSet`] — compact sets `{x | g₁(x) ≥ 0, …}` used for the
+//!   initial set `Θ`, domain `Ψ` and unsafe region `Ξ`, with membership
+//!   testing and uniform/low-discrepancy sampling;
+//! * [`Ccds`] — a controlled system `ẋ = f(x, u)` with polynomial dynamics
+//!   (the control input is the extra variable `x_n`), closable with a
+//!   polynomial controller abstraction `u = h(x)`;
+//! * [`simulate`] — fixed-step RK4 integration of the closed loop, used for
+//!   phase portraits (Fig. 3) and trajectory-based safety cross-checks;
+//! * [`benchmarks`] — the Academic 3D example (eq. (18)) and reconstructions
+//!   of the benchmark family C1–C14 of Table 1, with the exact `(n_x, d_f)`
+//!   signatures and the NN shapes the paper reports. The cited papers'
+//!   dynamics are not reprinted in the DAC paper, so each entry documents its
+//!   provenance; the scaling story of Table 1 depends only on the published
+//!   signatures, which are preserved exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use snbc_dynamics::benchmarks;
+//!
+//! let bench = benchmarks::academic_3d();
+//! assert_eq!(bench.system.nvars(), 3);
+//! // The open-loop field of eq. (18): ẋ = z + 8y.
+//! let dx = bench.system.eval_field(&[0.0, 1.0, 0.5], 0.0);
+//! assert_eq!(dx[0], 8.5);
+//! ```
+
+pub mod benchmarks;
+mod sampler;
+mod set;
+mod system;
+
+pub use sampler::{halton_point, sample_box_halton, sample_box_uniform};
+pub use set::SemiAlgebraicSet;
+pub use system::{simulate, Ccds, Trajectory};

@@ -1,0 +1,114 @@
+//! Point samplers: uniform random and deterministic low-discrepancy (Halton).
+//!
+//! The controller-abstraction step (§3) needs mesh points over `Ψ`; in low
+//! dimension a full rectangular mesh is used, but in high dimension it is
+//! exponentially large, so a capped Halton set with a covering-radius estimate
+//! stands in (documented substitution — Theorem 2 only needs a covering
+//! radius for the sample set).
+
+use rand::Rng;
+
+/// First `n`-dimensional Halton point with the given 1-based `index`.
+///
+/// Uses the first `n` primes as bases.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the built-in prime table (64 dimensions).
+pub fn halton_point(index: usize, n: usize) -> Vec<f64> {
+    const PRIMES: [u32; 64] = [
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+        89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
+        181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277,
+        281, 283, 293, 307, 311,
+    ];
+    assert!(n <= PRIMES.len(), "at most {} dimensions supported", PRIMES.len());
+    (0..n)
+        .map(|d| {
+            let base = u64::from(PRIMES[d]);
+            let mut i = index as u64;
+            let mut f = 1.0;
+            let mut r = 0.0;
+            while i > 0 {
+                f /= base as f64;
+                r += f * (i % base) as f64;
+                i /= base;
+            }
+            r
+        })
+        .collect()
+}
+
+/// `count` Halton points scaled into the box `bounds`.
+///
+/// # Example
+///
+/// ```
+/// let pts = snbc_dynamics::sample_box_halton(&[(0.0, 1.0), (-1.0, 1.0)], 100);
+/// assert_eq!(pts.len(), 100);
+/// assert!(pts.iter().all(|p| p[1] >= -1.0 && p[1] <= 1.0));
+/// ```
+pub fn sample_box_halton(bounds: &[(f64, f64)], count: usize) -> Vec<Vec<f64>> {
+    (1..=count)
+        .map(|i| {
+            halton_point(i, bounds.len())
+                .iter()
+                .zip(bounds)
+                .map(|(&u, &(lo, hi))| lo + u * (hi - lo))
+                .collect()
+        })
+        .collect()
+}
+
+/// `count` uniform random points in the box.
+pub fn sample_box_uniform(bounds: &[(f64, f64)], count: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halton_is_deterministic_and_in_unit_cube() {
+        let a = halton_point(5, 3);
+        let b = halton_point(5, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn halton_first_points_base2() {
+        // Base-2 van der Corput: 1/2, 1/4, 3/4, 1/8, …
+        assert!((halton_point(1, 1)[0] - 0.5).abs() < 1e-15);
+        assert!((halton_point(2, 1)[0] - 0.25).abs() < 1e-15);
+        assert!((halton_point(3, 1)[0] - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn halton_covers_better_than_clumped() {
+        // Covering check: 64 Halton points in [0,1]² leave no empty quadrant.
+        let pts = sample_box_halton(&[(0.0, 1.0), (0.0, 1.0)], 64);
+        let mut quads = [0usize; 4];
+        for p in &pts {
+            let q = (p[0] >= 0.5) as usize * 2 + (p[1] >= 0.5) as usize;
+            quads[q] += 1;
+        }
+        assert!(quads.iter().all(|&c| c >= 10), "{quads:?}");
+    }
+
+    #[test]
+    fn uniform_sampling_respects_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pts = sample_box_uniform(&[(-2.0, -1.0)], 20, &mut rng);
+        assert!(pts.iter().all(|p| p[0] >= -2.0 && p[0] <= -1.0));
+    }
+}

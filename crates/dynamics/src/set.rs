@@ -1,0 +1,258 @@
+use rand::Rng;
+use snbc_poly::Polynomial;
+
+/// A compact semialgebraic set `{x ∈ ℝⁿ | g₁(x) ≥ 0, …, g_m(x) ≥ 0}` together
+/// with a bounding box used for sampling (§2 of the paper: `Θ`, `Ψ`, `Ξ` are
+/// all of this form).
+///
+/// # Example
+///
+/// ```
+/// use snbc_dynamics::SemiAlgebraicSet;
+///
+/// let s = SemiAlgebraicSet::box_set(&[(-1.0, 1.0), (0.0, 2.0)]);
+/// assert!(s.contains(&[0.5, 1.0]));
+/// assert!(!s.contains(&[1.5, 1.0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SemiAlgebraicSet {
+    nvars: usize,
+    polys: Vec<Polynomial>,
+    bounds: Vec<(f64, f64)>,
+    kind: SetKind,
+}
+
+/// Shape information enabling direct (rejection-free) sampling.
+#[derive(Debug, Clone)]
+enum SetKind {
+    /// An axis-aligned box (sampling is uniform per dimension).
+    Box,
+    /// A Euclidean ball (sampled via Gaussian direction and radius
+    /// `R·u^{1/n}` — essential in high dimension, where rejection from the
+    /// bounding box accepts a vanishing fraction of draws).
+    Ball { center: Vec<f64>, radius: f64 },
+    /// General constraints: rejection sampling from the bounding box.
+    General,
+}
+
+impl SemiAlgebraicSet {
+    /// An axis-aligned box. Each dimension contributes one quadratic
+    /// constraint `(xᵢ − lo)(hi − xᵢ) ≥ 0` — the standard encoding in the
+    /// barrier-certificate literature, giving one SOS multiplier per
+    /// dimension rather than two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or a pair is inverted.
+    pub fn box_set(bounds: &[(f64, f64)]) -> Self {
+        assert!(!bounds.is_empty(), "empty box");
+        let polys = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| {
+                assert!(lo < hi, "inverted bound [{lo}, {hi}]");
+                let xi = Polynomial::var(i);
+                let a = &xi - &Polynomial::constant(lo);
+                let b = &Polynomial::constant(hi) - &xi;
+                &a * &b
+            })
+            .collect();
+        SemiAlgebraicSet {
+            nvars: bounds.len(),
+            polys,
+            bounds: bounds.to_vec(),
+            kind: SetKind::Box,
+        }
+    }
+
+    /// A Euclidean ball `‖x − c‖² ≤ r²` (a single constraint — the preferred
+    /// encoding for high-dimensional benchmarks where multiplier count
+    /// dominates SDP size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is empty or `radius ≤ 0`.
+    pub fn ball(center: &[f64], radius: f64) -> Self {
+        assert!(!center.is_empty(), "empty center");
+        assert!(radius > 0.0, "radius must be positive");
+        let mut p = Polynomial::constant(radius * radius);
+        for (i, &c) in center.iter().enumerate() {
+            let d = &Polynomial::var(i) - &Polynomial::constant(c);
+            p -= &(&d * &d);
+        }
+        let bounds = center.iter().map(|&c| (c - radius, c + radius)).collect();
+        SemiAlgebraicSet {
+            nvars: center.len(),
+            polys: vec![p],
+            bounds,
+            kind: SetKind::Ball {
+                center: center.to_vec(),
+                radius,
+            },
+        }
+    }
+
+    /// A set from explicit constraints `gᵢ(x) ≥ 0` plus a bounding box for
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a polynomial references variables beyond the box dimension.
+    pub fn from_polys(polys: Vec<Polynomial>, bounds: &[(f64, f64)]) -> Self {
+        for p in &polys {
+            assert!(
+                p.nvars() <= bounds.len(),
+                "constraint uses variable beyond bounding box dimension"
+            );
+        }
+        SemiAlgebraicSet {
+            nvars: bounds.len(),
+            polys,
+            bounds: bounds.to_vec(),
+            kind: SetKind::General,
+        }
+    }
+
+    /// Ambient dimension.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The defining inequalities `gᵢ(x) ≥ 0`.
+    pub fn polys(&self) -> &[Polynomial] {
+        &self.polys
+    }
+
+    /// The sampling bounding box.
+    pub fn bounding_box(&self) -> &[(f64, f64)] {
+        &self.bounds
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() < self.nvars()`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert!(x.len() >= self.nvars, "point dimension mismatch");
+        let in_box = self
+            .bounds
+            .iter()
+            .zip(x)
+            .all(|(&(lo, hi), &v)| v >= lo - 1e-12 && v <= hi + 1e-12);
+        in_box && self.polys.iter().all(|g| g.eval(x) >= -1e-12)
+    }
+
+    /// Draws `count` points uniformly from the set. Boxes and balls are
+    /// sampled directly (no rejection — crucial for high-dimensional balls,
+    /// whose bounding-box acceptance rate decays like `(π/4)^{n/2}`);
+    /// general sets fall back to rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rejection sampling of a general set stalls (over 10 000×
+    /// oversampling), indicating a degenerate set description.
+    pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        match &self.kind {
+            SetKind::Box => (0..count)
+                .map(|_| {
+                    self.bounds
+                        .iter()
+                        .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                        .collect()
+                })
+                .collect(),
+            SetKind::Ball { center, radius } => (0..count)
+                .map(|_| {
+                    // Gaussian direction, radius R·u^{1/n}: uniform in the ball.
+                    let dir: Vec<f64> = (0..self.nvars)
+                        .map(|_| {
+                            let u1: f64 = rng.gen_range(1e-12..1.0);
+                            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                            (-2.0 * u1.ln()).sqrt() * u2.cos()
+                        })
+                        .collect();
+                    let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt().max(1e-300);
+                    let r = radius * rng.gen_range(0.0_f64..1.0).powf(1.0 / self.nvars as f64);
+                    center
+                        .iter()
+                        .zip(&dir)
+                        .map(|(c, d)| c + r * d / norm)
+                        .collect()
+                })
+                .collect(),
+            SetKind::General => {
+                let mut out = Vec::with_capacity(count);
+                let mut attempts = 0usize;
+                while out.len() < count {
+                    attempts += 1;
+                    assert!(
+                        attempts <= 10_000 * count.max(1),
+                        "rejection sampling stalled: set volume too small relative to its box"
+                    );
+                    let x: Vec<f64> = self
+                        .bounds
+                        .iter()
+                        .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                        .collect();
+                    if self.contains(&x) {
+                        out.push(x);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The center of the bounding box (a cheap interior heuristic).
+    pub fn box_center(&self) -> Vec<f64> {
+        self.bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_membership() {
+        let s = SemiAlgebraicSet::box_set(&[(-1.0, 1.0), (0.0, 2.0)]);
+        assert!(s.contains(&[0.0, 1.0]));
+        assert!(s.contains(&[1.0, 2.0])); // boundary
+        assert!(!s.contains(&[0.0, -0.1]));
+        assert_eq!(s.polys().len(), 2);
+    }
+
+    #[test]
+    fn ball_membership() {
+        let s = SemiAlgebraicSet::ball(&[1.0, 0.0], 0.5);
+        assert!(s.contains(&[1.0, 0.0]));
+        assert!(s.contains(&[1.4, 0.0]));
+        assert!(!s.contains(&[1.6, 0.0]));
+        assert_eq!(s.polys().len(), 1);
+    }
+
+    #[test]
+    fn samples_lie_inside() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = SemiAlgebraicSet::ball(&[0.0, 0.0, 0.0], 1.0);
+        for x in s.sample(50, &mut rng) {
+            assert!(s.contains(&x));
+        }
+    }
+
+    #[test]
+    fn from_polys_half_space() {
+        let g: Polynomial = "x0 - x1".parse().unwrap();
+        let s = SemiAlgebraicSet::from_polys(vec![g], &[(-1.0, 1.0), (-1.0, 1.0)]);
+        assert!(s.contains(&[0.5, 0.0]));
+        assert!(!s.contains(&[0.0, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bound")]
+    fn inverted_bounds_panic() {
+        let _ = SemiAlgebraicSet::box_set(&[(1.0, -1.0)]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based soundness of the Bernstein range bounds: for random
+//! polynomials and boxes, the enclosure must contain dense-grid samples and
+//! must never be looser than necessary in a way that breaks the B&B verdicts.
+
+use proptest::prelude::*;
+use snbc_interval::{bernstein_range, eval_range, BranchAndBound, Interval, RangeTightening, Verdict};
+use snbc_poly::{monomial_basis, Polynomial};
+
+fn random_poly(coeffs: &[f64]) -> Polynomial {
+    let basis = monomial_basis(2, 3);
+    Polynomial::from_coeffs(&coeffs[..basis.len()], &basis)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bernstein_contains_grid_samples(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 10),
+        lo0 in -2.0f64..0.0, w0 in 0.1f64..2.0,
+        lo1 in -2.0f64..0.0, w1 in 0.1f64..2.0,
+    ) {
+        let p = random_poly(&coeffs);
+        let bx = [Interval::new(lo0, lo0 + w0), Interval::new(lo1, lo1 + w1)];
+        let r = bernstein_range(&p, &bx);
+        for i in 0..=6 {
+            for j in 0..=6 {
+                let x = [
+                    lo0 + w0 * i as f64 / 6.0,
+                    lo1 + w1 * j as f64 / 6.0,
+                ];
+                let v = p.eval(&x);
+                prop_assert!(
+                    r.lo() - 1e-9 <= v && v <= r.hi() + 1e-9,
+                    "{r} misses p({x:?}) = {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_never_looser_than_needed_vs_interval(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 10),
+    ) {
+        // Both bounds are sound; their intersection is therefore sound, and
+        // on [0,1]² the Bernstein bound is contained in the interval bound
+        // hull up to rounding (a weak sanity relation that catches transform
+        // bugs producing wild coefficients).
+        let p = random_poly(&coeffs);
+        let bx = [Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)];
+        let b = bernstein_range(&p, &bx);
+        let i = eval_range(&p, &bx);
+        prop_assert!(b.lo() >= i.lo() - 1e-9, "bernstein {b} below interval {i}");
+        prop_assert!(b.hi() <= i.hi() + 1e-9, "bernstein {b} above interval {i}");
+    }
+
+    #[test]
+    fn verdicts_agree_between_tightenings(
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 10),
+        shift in 0.5f64..2.0,
+    ) {
+        // p + shift − min_grid(p) is comfortably positive: both tightening
+        // modes must prove it (no false Violated/Unknown flips).
+        let p0 = random_poly(&coeffs);
+        let bx = vec![Interval::new(-1.0, 1.0); 2];
+        let mut min_grid = f64::INFINITY;
+        for i in 0..=8 {
+            for j in 0..=8 {
+                let x = [-1.0 + 0.25 * i as f64, -1.0 + 0.25 * j as f64];
+                min_grid = min_grid.min(p0.eval(&x));
+            }
+        }
+        let p = &p0 + &Polynomial::constant(shift + 2.0 - min_grid);
+        for tightening in [RangeTightening::Interval, RangeTightening::Bernstein] {
+            let bb = BranchAndBound {
+                tightening,
+                ..Default::default()
+            };
+            let rep = bb.check_at_least(&p, &bx, &[], 0.0);
+            prop_assert_eq!(
+                rep.verdict, Verdict::Holds,
+                "{:?} failed to prove a clearly positive polynomial", tightening
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A Cholesky factorization encountered a non-positive pivot; the matrix is
+    /// not (numerically) positive definite. Carries the pivot index and value.
+    NotPositiveDefinite { index: usize, pivot: f64 },
+    /// An LU factorization found no usable pivot; the matrix is singular to
+    /// working precision. Carries the column at which elimination failed.
+    Singular { column: usize },
+    /// Matrix dimensions were incompatible for the requested operation.
+    ShapeMismatch {
+        expected: (usize, usize),
+        found: (usize, usize),
+    },
+    /// An iterative method (e.g. the Jacobi eigensolver) failed to converge
+    /// within its sweep budget.
+    NoConvergence { iterations: usize, residual: f64 },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { index, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:.3e} at index {index}"
+            ),
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular: no pivot in column {column}")
+            }
+            LinalgError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}

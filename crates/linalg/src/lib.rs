@@ -1,0 +1,42 @@
+//! Dense linear-algebra substrate for the SNBC reproduction.
+//!
+//! Every numerical solver in the workspace (the LP solver used for Chebyshev
+//! controller approximation, the SDP interior-point solver behind the SOS/LMI
+//! verifier, and the neural-network training code) is built on the small dense
+//! kernel provided here: a row-major [`Matrix`] type plus factorizations
+//! (Cholesky, LDLᵀ, LU, QR) and a Jacobi eigensolver for symmetric matrices.
+//!
+//! The matrices arising in barrier-certificate synthesis are small-to-moderate
+//! (Gram matrices of monomial bases, Schur complements over coefficient
+//! constraints), so a cache-friendly dense representation with `f64` entries is
+//! the right tool; no sparse machinery is needed.
+//!
+//! # Example
+//!
+//! ```
+//! use snbc_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), snbc_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+//! let chol = a.cholesky()?;
+//! let x = chol.solve(&[1.0, 2.0]);
+//! let r = a.matvec(&x);
+//! assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+pub mod vec_ops;
+
+pub use cholesky::{Cholesky, Ldlt};
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;

@@ -1,0 +1,169 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial pivoting: `P·A = L·U`.
+///
+/// General-purpose square solver used wherever symmetry/definiteness cannot be
+/// assumed (e.g. least-squares normal equations with regularization disabled,
+/// Newton systems in counterexample refinement).
+///
+/// # Example
+///
+/// ```
+/// use snbc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), snbc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+/// let lu = a.lu()?;
+/// assert!((lu.det() + 2.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strictly-lower part of L (unit diagonal implicit) and
+    /// upper-triangular U.
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Computes the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if no pivot above `1e-300` exists in
+    /// some column, and [`LinalgError::ShapeMismatch`] for non-square input.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (a.nrows(), a.nrows()),
+                found: (a.nrows(), a.ncols()),
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot selection.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 || !best.is_finite() {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let v = m * lu[(k, j)];
+                    lu[(i, j)] -= v;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.nrows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.nrows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.lu.nrows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_random_system() {
+        let a = Matrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.0], &[-2.0, 1.0, 5.0]]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = a.lu().unwrap().solve(&b);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_of_permutation_needs_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[5.0, 3.0]]);
+        let inv = a.lu().unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Matrix::identity(2)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+}

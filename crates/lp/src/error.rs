@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use snbc_linalg::LinalgError;
+
+/// Errors produced by the LP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// Input dimensions are inconsistent.
+    Dimension(String),
+    /// The interior-point iteration exceeded its budget without converging.
+    IterationLimit { iterations: usize, mu: f64 },
+    /// The problem was detected to be (numerically) primal infeasible.
+    Infeasible,
+    /// The problem was detected to be (numerically) unbounded below.
+    Unbounded,
+    /// A linear-algebra failure (e.g. normal equations not factorizable).
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            LpError::IterationLimit { iterations, mu } => write!(
+                f,
+                "interior-point iteration limit ({iterations}) reached at mu={mu:.3e}"
+            ),
+            LpError::Infeasible => write!(f, "problem is primal infeasible"),
+            LpError::Unbounded => write!(f, "problem is unbounded"),
+            LpError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for LpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LpError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LpError {
+    fn from(e: LinalgError) -> Self {
+        LpError::Numerical(e)
+    }
+}

@@ -1,0 +1,512 @@
+use rand::Rng;
+use rand::SeedableRng;
+use snbc_autodiff::{Tape, Var};
+use snbc_poly::Polynomial;
+
+/// The paper's *quadratic network* (§4.1, Fig. 2): hidden layers apply the
+/// cross-product (Hadamard) activation
+///
+/// ```text
+///     x⁽ˡ⁾ = (W₁⁽ˡ⁾ x⁽ˡ⁻¹⁾ + b₁⁽ˡ⁾) ⊗ (W₂⁽ˡ⁾ x⁽ˡ⁻¹⁾ + b₂⁽ˡ⁾),
+/// ```
+///
+/// so with `l` hidden layers the scalar output is *exactly* a polynomial of
+/// degree `2^l` in the input — interpretable by the SOS verifier without any
+/// abstraction step. Compared to the classic square network
+/// `σ(x) = (Wx + b)²` it doubles the parameters at equal output degree,
+/// which is precisely the fitting-capability argument of the paper.
+///
+/// # Example
+///
+/// ```
+/// use snbc_nn::QuadraticNet;
+///
+/// // 2 inputs, one hidden layer of 5 ⇒ degree-2 polynomial output.
+/// let net = QuadraticNet::new(2, &[5], 1);
+/// assert!(net.to_polynomial().degree() <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadraticNet {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    /// Flat parameters: per hidden layer `W₁ | b₁ | W₂ | b₂` (row-major),
+    /// then the linear output layer `W | b`.
+    params: Vec<f64>,
+}
+
+impl QuadraticNet {
+    /// Creates a randomly initialized quadratic network. `hidden` lists the
+    /// hidden-layer widths (one entry per cross-product layer, so the output
+    /// degree is `2^hidden.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is empty or `input_dim == 0`.
+    pub fn new(input_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        assert!(!hidden.is_empty(), "need at least one hidden layer");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut params = Vec::new();
+        let mut fan_in = input_dim;
+        for &h in hidden {
+            let scale = (2.0 / (fan_in + h) as f64).sqrt();
+            for _ in 0..2 * (fan_in * h + h) {
+                params.push(rng.gen_range(-scale..scale));
+            }
+            fan_in = h;
+        }
+        // Output layer W (1 × fan_in) and bias.
+        let scale = (2.0 / (fan_in + 1) as f64).sqrt();
+        for _ in 0..fan_in {
+            params.push(rng.gen_range(-scale..scale));
+        }
+        params.push(0.0);
+        QuadraticNet {
+            input_dim,
+            hidden: hidden.to_vec(),
+            params,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-layer widths.
+    pub fn hidden_sizes(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Degree of the output polynomial (`2^l` for `l` hidden layers).
+    pub fn output_degree(&self) -> u32 {
+        1u32 << self.hidden.len()
+    }
+
+    /// Flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Overwrites the flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Scalar forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let mut act: Vec<f64> = x.to_vec();
+        let mut offset = 0;
+        for &h in &self.hidden {
+            let fan_in = act.len();
+            let mut next = vec![0.0; h];
+            let w1 = offset;
+            let b1 = w1 + fan_in * h;
+            let w2 = b1 + h;
+            let b2 = w2 + fan_in * h;
+            for (o, n) in next.iter_mut().enumerate() {
+                let mut a1 = self.params[b1 + o];
+                let mut a2 = self.params[b2 + o];
+                for (i, a) in act.iter().enumerate() {
+                    a1 += self.params[w1 + o * fan_in + i] * a;
+                    a2 += self.params[w2 + o * fan_in + i] * a;
+                }
+                *n = a1 * a2;
+            }
+            offset = b2 + h;
+            act = next;
+        }
+        let w = offset;
+        let b = w + act.len();
+        let mut out = self.params[b];
+        for (i, a) in act.iter().enumerate() {
+            out += self.params[w + i] * a;
+        }
+        out
+    }
+
+    /// Forward pass on a tape with parameters and inputs as tape variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn forward_tape(&self, tape: &mut Tape, params: &[Var], x: &[Var]) -> Var {
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let mut act: Vec<Var> = x.to_vec();
+        let mut offset = 0;
+        for &h in &self.hidden {
+            let fan_in = act.len();
+            let w1 = offset;
+            let b1 = w1 + fan_in * h;
+            let w2 = b1 + h;
+            let b2 = w2 + fan_in * h;
+            let mut next = Vec::with_capacity(h);
+            for o in 0..h {
+                let mut a1 = params[b1 + o];
+                let mut a2 = params[b2 + o];
+                for (i, a) in act.iter().enumerate() {
+                    let p1 = tape.mul(params[w1 + o * fan_in + i], *a);
+                    a1 = tape.add(a1, p1);
+                    let p2 = tape.mul(params[w2 + o * fan_in + i], *a);
+                    a2 = tape.add(a2, p2);
+                }
+                next.push(tape.mul(a1, a2));
+            }
+            offset = b2 + h;
+            act = next;
+        }
+        let w = offset;
+        let b = w + act.len();
+        let mut out = params[b];
+        for (i, a) in act.iter().enumerate() {
+            let p = tape.mul(params[w + i], *a);
+            out = tape.add(out, p);
+        }
+        out
+    }
+
+    /// Extracts the output as an explicit [`Polynomial`] by pushing symbolic
+    /// coordinates through the layers — the step that hands the learned
+    /// candidate `B(x)` to the SOS verifier.
+    pub fn to_polynomial(&self) -> Polynomial {
+        let mut act: Vec<Polynomial> = (0..self.input_dim).map(Polynomial::var).collect();
+        let mut offset = 0;
+        for &h in &self.hidden {
+            let fan_in = act.len();
+            let w1 = offset;
+            let b1 = w1 + fan_in * h;
+            let w2 = b1 + h;
+            let b2 = w2 + fan_in * h;
+            let mut next = Vec::with_capacity(h);
+            for o in 0..h {
+                let mut a1 = Polynomial::constant(self.params[b1 + o]);
+                let mut a2 = Polynomial::constant(self.params[b2 + o]);
+                for (i, a) in act.iter().enumerate() {
+                    a1 += &a.scale(self.params[w1 + o * fan_in + i]);
+                    a2 += &a.scale(self.params[w2 + o * fan_in + i]);
+                }
+                next.push(&a1 * &a2);
+            }
+            offset = b2 + h;
+            act = next;
+        }
+        let w = offset;
+        let b = w + act.len();
+        let mut out = Polynomial::constant(self.params[b]);
+        for (i, a) in act.iter().enumerate() {
+            out += &a.scale(self.params[w + i]);
+        }
+        out
+    }
+
+    /// The analytic gradient `∇P(x)` from the chain rule (formula (9) of the
+    /// paper), evaluated numerically. Exists primarily to cross-validate the
+    /// autodiff path; training uses the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        // Forward pass storing per-layer pre-activations.
+        let mut act: Vec<f64> = x.to_vec();
+        // Jacobian of current activation w.r.t. input, row-major h × n.
+        let n = self.input_dim;
+        let mut jac: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                row
+            })
+            .collect();
+        let mut offset = 0;
+        for &h in &self.hidden {
+            let fan_in = act.len();
+            let w1 = offset;
+            let b1 = w1 + fan_in * h;
+            let w2 = b1 + h;
+            let b2 = w2 + fan_in * h;
+            let mut next = vec![0.0; h];
+            let mut next_jac: Vec<Vec<f64>> = vec![vec![0.0; n]; h];
+            for o in 0..h {
+                let mut a1 = self.params[b1 + o];
+                let mut a2 = self.params[b2 + o];
+                for (i, a) in act.iter().enumerate() {
+                    a1 += self.params[w1 + o * fan_in + i] * a;
+                    a2 += self.params[w2 + o * fan_in + i] * a;
+                }
+                next[o] = a1 * a2;
+                // d(a1·a2)/dx = a2·W₁ⱼ·J + a1·W₂ⱼ·J (formula (9) layerwise).
+                for d in 0..n {
+                    let mut g1 = 0.0;
+                    let mut g2 = 0.0;
+                    for i in 0..fan_in {
+                        g1 += self.params[w1 + o * fan_in + i] * jac[i][d];
+                        g2 += self.params[w2 + o * fan_in + i] * jac[i][d];
+                    }
+                    next_jac[o][d] = a2 * g1 + a1 * g2;
+                }
+            }
+            offset = b2 + h;
+            act = next;
+            jac = next_jac;
+        }
+        let w = offset;
+        let mut grad = vec![0.0; n];
+        for (o, row) in jac.iter().enumerate() {
+            for (d, g) in grad.iter_mut().enumerate() {
+                *g += self.params[w + o] * row[d];
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_matches_forward_on_grid() {
+        for layers in [vec![4usize], vec![3, 2]] {
+            let net = QuadraticNet::new(2, &layers, 5);
+            let p = net.to_polynomial();
+            assert!(p.degree() <= net.output_degree());
+            for i in -2..=2 {
+                for j in -2..=2 {
+                    let x = [i as f64 * 0.37, j as f64 * 0.59];
+                    assert!(
+                        (net.forward(&x) - p.eval(&x)).abs() < 1e-9,
+                        "mismatch at {x:?} for layers {layers:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_forward_matches_plain() {
+        let net = QuadraticNet::new(3, &[4], 9);
+        let x = [0.1, -0.5, 0.8];
+        let mut tape = Tape::new();
+        let pv: Vec<_> = net.params().iter().map(|&p| tape.input(p)).collect();
+        let xv: Vec<_> = x.iter().map(|&v| tape.input(v)).collect();
+        let y = net.forward_tape(&mut tape, &pv, &xv);
+        assert!((tape.value(y) - net.forward(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_nine_gradient_matches_autodiff_and_polynomial() {
+        let net = QuadraticNet::new(2, &[3], 13);
+        let x = [0.6, -0.4];
+        // (a) closed-form chain rule (the paper's formula (9)).
+        let g_closed = net.gradient(&x);
+        // (b) autodiff.
+        let mut tape = Tape::new();
+        let pv: Vec<_> = net.params().iter().map(|&p| tape.input(p)).collect();
+        let xv: Vec<_> = x.iter().map(|&v| tape.input(v)).collect();
+        let y = net.forward_tape(&mut tape, &pv, &xv);
+        let g_ad = tape.grad(y, &xv);
+        // (c) symbolic polynomial gradient.
+        let p = net.to_polynomial();
+        for d in 0..2 {
+            let g_sym = p.partial(d).eval(&x);
+            assert!((g_closed[d] - tape.value(g_ad[d])).abs() < 1e-10);
+            assert!((g_closed[d] - g_sym).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_layer_network_has_degree_four() {
+        let net = QuadraticNet::new(2, &[3, 2], 21);
+        assert_eq!(net.output_degree(), 4);
+        let p = net.to_polynomial();
+        assert!(p.degree() <= 4);
+        assert!(p.degree() >= 3, "random init should produce high-degree terms");
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let mut net = QuadraticNet::new(2, &[2], 1);
+        let mut p = net.params().to_vec();
+        p[0] = 42.0;
+        net.set_params(&p);
+        assert_eq!(net.params()[0], 42.0);
+    }
+}
+
+impl QuadraticNet {
+    /// Builds `(B(x), L_f B(x))` on a tape for a **single-hidden-layer**
+    /// network using the closed-form gradient (formula (9) of the paper),
+    /// with the sample `x` and field values `f(x)` as constants. This is the
+    /// learner's fast path: it avoids recording a per-sample backward pass
+    /// (the tape stays ~5× smaller and the loss gradient is one global
+    /// backward sweep). Returns `None` for deeper networks, which fall back
+    /// to the generic double-backprop path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter/input width mismatches.
+    pub fn forward_and_lie_tape(
+        &self,
+        tape: &mut Tape,
+        params: &[Var],
+        x: &[f64],
+        field: &[f64],
+    ) -> Option<(Var, Var)> {
+        self.forward_and_lie2_tape(tape, params, x, field, field)
+            .map(|(b, lie, _)| (b, lie))
+    }
+
+    /// Like [`QuadraticNet::forward_and_lie_tape`] but evaluates the Lie
+    /// derivative against two field samples in one pass (sharing the neuron
+    /// activations) — the learner uses this for the `w = ±σ*` extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter/input width mismatches.
+    pub fn forward_and_lie2_tape(
+        &self,
+        tape: &mut Tape,
+        params: &[Var],
+        x: &[f64],
+        field_lo: &[f64],
+        field_hi: &[f64],
+    ) -> Option<(Var, Var, Var)> {
+        if self.hidden.len() != 1 {
+            return None;
+        }
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        assert_eq!(field_lo.len(), self.input_dim, "field dimension mismatch");
+        assert_eq!(field_hi.len(), self.input_dim, "field dimension mismatch");
+        let n = self.input_dim;
+        let h = self.hidden[0];
+        let w1 = 0;
+        let b1 = w1 + n * h;
+        let w2 = b1 + h;
+        let b2 = w2 + n * h;
+        let wout = b2 + h;
+        let bout = wout + h;
+
+        let mut b_acc = params[bout];
+        let mut lo_acc = tape.constant(0.0);
+        let mut hi_acc = tape.constant(0.0);
+        let same = field_lo == field_hi;
+        for o in 0..h {
+            // a1 = b1_o + Σ W1[o,i]·xᵢ and the field dots g = Σ W[o,i]·fᵢ
+            // (xᵢ, fᵢ are constants: every term is a fused scale node).
+            let mut a1 = params[b1 + o];
+            let mut a2 = params[b2 + o];
+            let mut g1_lo = tape.constant(0.0);
+            let mut g2_lo = tape.constant(0.0);
+            let mut g1_hi = g1_lo;
+            let mut g2_hi = g2_lo;
+            for i in 0..n {
+                let p1 = params[w1 + o * n + i];
+                let p2 = params[w2 + o * n + i];
+                if x[i] != 0.0 {
+                    let t1 = tape.scale(p1, x[i]);
+                    a1 = tape.add(a1, t1);
+                    let t2 = tape.scale(p2, x[i]);
+                    a2 = tape.add(a2, t2);
+                }
+                if field_lo[i] != 0.0 {
+                    let s1 = tape.scale(p1, field_lo[i]);
+                    g1_lo = tape.add(g1_lo, s1);
+                    let s2 = tape.scale(p2, field_lo[i]);
+                    g2_lo = tape.add(g2_lo, s2);
+                }
+                if !same && field_hi[i] != 0.0 {
+                    let s1 = tape.scale(p1, field_hi[i]);
+                    g1_hi = tape.add(g1_hi, s1);
+                    let s2 = tape.scale(p2, field_hi[i]);
+                    g2_hi = tape.add(g2_hi, s2);
+                }
+            }
+            // B-contribution: w_out[o]·a1·a2; Lie: w_out[o]·(a2·g1 + a1·g2).
+            let prod = tape.mul(a1, a2);
+            let bterm = tape.mul(params[wout + o], prod);
+            b_acc = tape.add(b_acc, bterm);
+            let t1 = tape.mul(a2, g1_lo);
+            let t2 = tape.mul(a1, g2_lo);
+            let grad_dot = tape.add(t1, t2);
+            let lterm = tape.mul(params[wout + o], grad_dot);
+            lo_acc = tape.add(lo_acc, lterm);
+            if !same {
+                let t1 = tape.mul(a2, g1_hi);
+                let t2 = tape.mul(a1, g2_hi);
+                let grad_dot = tape.add(t1, t2);
+                let lterm = tape.mul(params[wout + o], grad_dot);
+                hi_acc = tape.add(hi_acc, lterm);
+            }
+        }
+        if same {
+            hi_acc = lo_acc;
+        }
+        Some((b_acc, lo_acc, hi_acc))
+    }
+}
+
+#[cfg(test)]
+mod lie_tape_tests {
+    use super::*;
+
+    #[test]
+    fn matches_generic_double_backprop() {
+        let net = QuadraticNet::new(3, &[5], 77);
+        let x = [0.4, -0.9, 0.2];
+        let f = [1.3, -0.5, 0.8];
+        // Fast path.
+        let mut t1 = Tape::new();
+        let pv1: Vec<_> = net.params().iter().map(|&p| t1.input(p)).collect();
+        let (b_fast, lie_fast) = net
+            .forward_and_lie_tape(&mut t1, &pv1, &x, &f)
+            .expect("single hidden layer");
+        // Generic path: forward + grad wrt inputs + dot with the field.
+        let mut t2 = Tape::new();
+        let pv2: Vec<_> = net.params().iter().map(|&p| t2.input(p)).collect();
+        let xv: Vec<_> = x.iter().map(|&v| t2.input(v)).collect();
+        let b_gen = net.forward_tape(&mut t2, &pv2, &xv);
+        let g = t2.grad(b_gen, &xv);
+        let mut lie_gen = t2.constant(0.0);
+        for (gi, &fi) in g.iter().zip(&f) {
+            let s = t2.scale(*gi, fi);
+            lie_gen = t2.add(lie_gen, s);
+        }
+        assert!((t1.value(b_fast) - t2.value(b_gen)).abs() < 1e-12);
+        assert!((t1.value(lie_fast) - t2.value(lie_gen)).abs() < 1e-10);
+        // And the parameter gradients agree too.
+        let gf = t1.grad(lie_fast, &pv1);
+        let gg = t2.grad(lie_gen, &pv2);
+        for (a, b) in gf.iter().zip(&gg) {
+            assert!((t1.value(*a) - t2.value(*b)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn returns_none_for_two_layers() {
+        let net = QuadraticNet::new(2, &[3, 2], 1);
+        let mut t = Tape::new();
+        let pv: Vec<_> = net.params().iter().map(|&p| t.input(p)).collect();
+        assert!(net
+            .forward_and_lie_tape(&mut t, &pv, &[0.1, 0.2], &[1.0, 1.0])
+            .is_none());
+    }
+}

@@ -1,0 +1,219 @@
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Polynomial;
+
+/// Error returned when parsing a polynomial expression fails.
+///
+/// Carries the byte offset and a short description of what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolynomialError {
+    offset: usize,
+    message: String,
+}
+
+impl ParsePolynomialError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParsePolynomialError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset in the input at which parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParsePolynomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid polynomial at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParsePolynomialError {}
+
+/// Parses expressions like `"0.5*x0^2*x1 - 3*x2 + 1"` or `"(x0+1)^2"`.
+///
+/// Grammar: `expr := term (('+'|'-') term)*`, `term := factor ('*' factor)*`,
+/// `factor := atom ('^' uint)?`, `atom := number | 'x' uint | '(' expr ')' |
+/// '-' factor`. Whitespace is ignored.
+impl FromStr for Polynomial {
+    type Err = ParsePolynomialError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser {
+            input: s.as_bytes(),
+            pos: 0,
+        };
+        let poly = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(ParsePolynomialError::new(p.pos, "unexpected trailing input"));
+        }
+        Ok(poly)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<Polynomial, ParsePolynomialError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let t = self.term()?;
+                    acc += &t;
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let t = self.term()?;
+                    acc -= &t;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Polynomial, ParsePolynomialError> {
+        let mut acc = self.factor()?;
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            let f = self.factor()?;
+            acc *= &f;
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Polynomial, ParsePolynomialError> {
+        let base = self.atom()?;
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            let e = self.uint()?;
+            Ok(base.powi(e))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn atom(&mut self) -> Result<Polynomial, ParsePolynomialError> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                let f = self.factor()?;
+                Ok(-&f)
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    Ok(inner)
+                } else {
+                    Err(ParsePolynomialError::new(self.pos, "expected ')'"))
+                }
+            }
+            Some(b'x') => {
+                self.pos += 1;
+                let i = self.uint()? as usize;
+                Ok(Polynomial::var(i))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_digit()
+                        || self.input[self.pos] == b'.'
+                        || self.input[self.pos] == b'e'
+                        || self.input[self.pos] == b'E'
+                        || ((self.input[self.pos] == b'+' || self.input[self.pos] == b'-')
+                            && self.pos > start
+                            && (self.input[self.pos - 1] == b'e'
+                                || self.input[self.pos - 1] == b'E')))
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .expect("ascii slice is valid utf8");
+                text.parse::<f64>()
+                    .map(Polynomial::constant)
+                    .map_err(|_| ParsePolynomialError::new(start, "invalid number"))
+            }
+            _ => Err(ParsePolynomialError::new(
+                self.pos,
+                "expected number, variable, '(' or '-'",
+            )),
+        }
+    }
+
+    fn uint(&mut self) -> Result<u32, ParsePolynomialError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ParsePolynomialError::new(start, "expected integer"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice is valid utf8")
+            .parse()
+            .map_err(|_| ParsePolynomialError::new(start, "integer out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_forms() {
+        let a: Polynomial = "x0^2 + 2*x0*x1 + x1^2".parse().unwrap();
+        let b: Polynomial = "(x0 + x1)^2".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scientific_notation_and_unary_minus() {
+        let a: Polynomial = "-1.5e-1*x0 + 2E2".parse().unwrap();
+        assert!((a.eval(&[2.0]) - (-0.3 + 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let a: Polynomial = "  x0  -   x1 ".parse().unwrap();
+        assert_eq!(a, "x0-x1".parse().unwrap());
+    }
+
+    #[test]
+    fn errors_carry_offset() {
+        let err = "x0 + ".parse::<Polynomial>().unwrap_err();
+        assert_eq!(err.offset(), 5);
+        assert!("x0 )".parse::<Polynomial>().is_err());
+        assert!("y0".parse::<Polynomial>().is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let a: Polynomial = "0.159*x0^2 - 2.267*x0*x1 + 5.469*x2 - 10.541".parse().unwrap();
+        let again: Polynomial = a.to_string().parse().unwrap();
+        assert_eq!(a, again);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: the polynomial type satisfies the commutative-ring
+//! axioms, differentiation is linear and Leibniz, and evaluation is a ring
+//! homomorphism. These invariants underpin every symbolic step of the
+//! barrier-certificate pipeline.
+
+use proptest::prelude::*;
+use snbc_poly::{lie_derivative, monomial_basis, Monomial, Polynomial};
+
+/// Strategy: a random polynomial in 2 variables of degree ≤ 3 with small
+/// integer-ish coefficients (keeps evaluation exact enough for equality).
+fn poly2() -> impl Strategy<Value = Polynomial> {
+    let basis_len = monomial_basis(2, 3).len();
+    proptest::collection::vec(-4i32..=4, basis_len).prop_map(|coeffs| {
+        let basis = monomial_basis(2, 3);
+        let floats: Vec<f64> = coeffs.iter().map(|&c| f64::from(c) * 0.5).collect();
+        Polynomial::from_coeffs(&floats, &basis)
+    })
+}
+
+fn point() -> impl Strategy<Value = [f64; 2]> {
+    [-1.5f64..1.5, -1.5f64..1.5]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in poly2(), b in poly2()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn addition_associates(a in poly2(), b in poly2(), c in poly2()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in poly2(), b in poly2()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn distributive_law(a in poly2(), b in poly2(), c in poly2()) {
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        // Floating point: compare coefficients within tolerance.
+        prop_assert!((&lhs - &rhs).max_abs_coeff() < 1e-9);
+    }
+
+    #[test]
+    fn additive_inverse(a in poly2()) {
+        prop_assert!((&a - &a).is_zero());
+        prop_assert!((&a + &(-&a)).is_zero());
+    }
+
+    #[test]
+    fn one_is_neutral(a in poly2()) {
+        prop_assert_eq!(&a * &Polynomial::constant(1.0), a.clone());
+    }
+
+    #[test]
+    fn zero_annihilates(a in poly2()) {
+        prop_assert!((&a * &Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn evaluation_is_ring_homomorphism(a in poly2(), b in poly2(), x in point()) {
+        let sum = &a + &b;
+        let prod = &a * &b;
+        prop_assert!((sum.eval(&x) - (a.eval(&x) + b.eval(&x))).abs() < 1e-8);
+        prop_assert!((prod.eval(&x) - a.eval(&x) * b.eval(&x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn differentiation_is_linear(a in poly2(), b in poly2()) {
+        let sum = &a + &b;
+        let ds = sum.partial(0);
+        let want = &a.partial(0) + &b.partial(0);
+        prop_assert!((&ds - &want).max_abs_coeff() < 1e-9);
+    }
+
+    #[test]
+    fn leibniz_rule(a in poly2(), b in poly2()) {
+        let prod = &a * &b;
+        let dp = prod.partial(1);
+        let want = &(&a.partial(1) * &b) + &(&a * &b.partial(1));
+        prop_assert!((&dp - &want).max_abs_coeff() < 1e-8);
+    }
+
+    #[test]
+    fn lie_derivative_is_linear_in_b(a in poly2(), b in poly2()) {
+        let field = [Polynomial::var(1), -&Polynomial::var(0)];
+        let sum = &a + &b;
+        let l = lie_derivative(&sum, &field);
+        let want = &lie_derivative(&a, &field) + &lie_derivative(&b, &field);
+        prop_assert!((&l - &want).max_abs_coeff() < 1e-9);
+    }
+
+    #[test]
+    fn coeff_round_trip(a in poly2()) {
+        let basis = monomial_basis(2, 3);
+        let coeffs = a.to_coeffs(&basis);
+        prop_assert_eq!(Polynomial::from_coeffs(&coeffs, &basis), a);
+    }
+
+    #[test]
+    fn substitution_matches_pointwise(a in poly2(), x in point()) {
+        // Substitute x1 := x0² and compare pointwise.
+        let sub: Polynomial = "x0^2".parse().unwrap();
+        let g = a.substitute(1, &sub);
+        let direct = a.eval(&[x[0], x[0] * x[0]]);
+        prop_assert!((g.eval(&[x[0], 0.0]) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monomial_order_is_total_and_consistent(
+        ea in proptest::collection::vec(0u32..4, 3),
+        eb in proptest::collection::vec(0u32..4, 3),
+    ) {
+        let a = Monomial::new(ea);
+        let b = Monomial::new(eb);
+        // Totality + antisymmetry.
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert_eq!(b.cmp(&a), std::cmp::Ordering::Greater),
+            std::cmp::Ordering::Greater => prop_assert_eq!(b.cmp(&a), std::cmp::Ordering::Less),
+            std::cmp::Ordering::Equal => prop_assert_eq!(a.clone(), b.clone()),
+        }
+        // Graded: strictly smaller degree ⇒ strictly smaller monomial.
+        if a.degree() < b.degree() {
+            prop_assert!(a < b);
+        }
+        // Multiplicative monotonicity: a ≤ b ⇒ a·m ≤ b·m.
+        let m = Monomial::new(vec![1, 0, 2]);
+        if a <= b {
+            prop_assert!(a.mul(&m) <= b.mul(&m));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use snbc_linalg::LinalgError;
+
+/// Errors produced by the SDP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdpError {
+    /// Problem construction/validation error.
+    Invalid(String),
+    /// Interior-point iteration exceeded its budget without converging.
+    IterationLimit { iterations: usize, mu: f64 },
+    /// The problem was detected to be (numerically) primal infeasible.
+    Infeasible,
+    /// The problem was detected to be (numerically) unbounded.
+    Unbounded,
+    /// A linear-algebra failure (e.g. Schur complement not factorizable).
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for SdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdpError::Invalid(msg) => write!(f, "invalid problem: {msg}"),
+            SdpError::IterationLimit { iterations, mu } => write!(
+                f,
+                "interior-point iteration limit ({iterations}) reached at mu={mu:.3e}"
+            ),
+            SdpError::Infeasible => write!(f, "problem is primal infeasible"),
+            SdpError::Unbounded => write!(f, "problem is unbounded"),
+            SdpError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for SdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SdpError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SdpError {
+    fn from(e: LinalgError) -> Self {
+        SdpError::Numerical(e)
+    }
+}

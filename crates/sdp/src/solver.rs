@@ -1,0 +1,735 @@
+use snbc_linalg::{vec_ops, Cholesky, Matrix};
+
+use crate::problem::{entries_dot, sparse_times_dense};
+use crate::{Block, BlockMatrix, SdpError, SdpProblem};
+
+/// Termination status of an SDP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdpStatus {
+    /// Converged to the requested tolerance.
+    Optimal,
+    /// Stopped at a usable but less accurate point.
+    NearOptimal,
+}
+
+/// Solution of an SDP.
+#[derive(Debug, Clone)]
+pub struct SdpSolution {
+    /// Primal block variable `X`.
+    pub x: BlockMatrix,
+    /// Dual multipliers `y`.
+    pub y: Vec<f64>,
+    /// Dual slack `Z = C − Aᵀy`.
+    pub z: BlockMatrix,
+    /// `⟨C, X⟩`.
+    pub primal_objective: f64,
+    /// `bᵀy`.
+    pub dual_objective: f64,
+    /// Final duality measure `⟨X, Z⟩ / N`.
+    pub mu: f64,
+    /// Final relative primal residual.
+    pub primal_residual: f64,
+    /// Final relative dual residual.
+    pub dual_residual: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Termination status.
+    pub status: SdpStatus,
+}
+
+/// Infeasible primal–dual interior-point SDP solver (HKM direction with
+/// Mehrotra predictor–corrector), the workhorse behind the paper's LMI
+/// feasibility tests (13)–(15).
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct SdpSolver {
+    /// Maximum interior-point iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on relative residuals and duality measure.
+    pub tolerance: f64,
+    /// Fraction-to-the-boundary step damping.
+    pub step_fraction: f64,
+    /// Diagonal regularization for the Schur complement.
+    pub regularization: f64,
+    /// Optional wall-clock budget for one solve; on expiry the best visited
+    /// iterate is returned if usable, else
+    /// [`SdpError::IterationLimit`]. Lets callers with an overall deadline
+    /// (the paper's 7200 s `OT`) bound even a single large solve.
+    pub time_limit: Option<std::time::Duration>,
+}
+
+impl Default for SdpSolver {
+    fn default() -> Self {
+        SdpSolver {
+            max_iterations: 100,
+            tolerance: 1e-7,
+            step_fraction: 0.98,
+            regularization: 1e-14,
+            time_limit: None,
+        }
+    }
+}
+
+/// Solves with one round of iterative refinement (the Schur complement is
+/// often ill-conditioned near convergence; refinement recovers a few digits
+/// of primal feasibility at negligible cost).
+fn solve_refined(chol: &Cholesky, rhs: &[f64]) -> Vec<f64> {
+    let mut x = chol.solve(rhs);
+    for _ in 0..2 {
+        // r = rhs − M·x computed through the factorization's L·Lᵀ.
+        let lx = chol.l().tr_matvec(&x);
+        let mx = chol.l().matvec(&lx);
+        let r: Vec<f64> = rhs.iter().zip(&mx).map(|(b, m)| b - m).collect();
+        let dx = chol.solve(&r);
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+    }
+    x
+}
+
+/// Per-iteration factorization data for one block.
+enum Scaling {
+    Dense {
+        zinv: Matrix,
+        x: Matrix,
+        x_chol: Cholesky,
+        z_chol: Cholesky,
+    },
+    Diag {
+        x: Vec<f64>,
+        z: Vec<f64>,
+    },
+}
+
+impl SdpSolver {
+    /// Solves the SDP.
+    ///
+    /// # Errors
+    ///
+    /// * [`SdpError::Invalid`] — malformed problem;
+    /// * [`SdpError::IterationLimit`] — no convergence within the budget;
+    /// * [`SdpError::Infeasible`] / [`SdpError::Unbounded`] — detected
+    ///   divergence of the iterates;
+    /// * [`SdpError::Numerical`] — unrecoverable factorization failure.
+    pub fn solve(&self, problem: &SdpProblem) -> Result<SdpSolution, SdpError> {
+        problem.validate()?;
+        let shapes = problem.shapes().to_vec();
+        let m = problem.num_constraints();
+        let b = problem.rhs().to_vec();
+        let big_n = shapes.iter().map(|s| s.order()).sum::<usize>() as f64;
+
+        // Initial iterates: scaled identities.
+        let c_mat = problem.cost_matrix();
+        let cnorm = c_mat.norm_fro();
+        let mut anorm_max: f64 = 1.0;
+        let mut init_scale: f64 = 10.0;
+        for k in 0..m {
+            let ak = problem.constraint_matrix(k);
+            let an = ak.norm_fro();
+            anorm_max = anorm_max.max(an);
+            init_scale = init_scale.max(big_n.sqrt() * (1.0 + b[k].abs()) / (1.0 + an));
+        }
+        let mut x = BlockMatrix::identity(&shapes);
+        x.scale_mut(init_scale);
+        let mut z = BlockMatrix::identity(&shapes);
+        z.scale_mut((1.0 + cnorm.max(anorm_max)).max(10.0));
+        let mut y = vec![0.0; m];
+
+        let bnorm = 1.0 + vec_ops::norm2(&b);
+        let cnorm1 = 1.0 + cnorm;
+
+        let mut best: Option<(f64, BlockMatrix, Vec<f64>, BlockMatrix, usize)> = None;
+        let t0 = std::time::Instant::now();
+
+        for iter in 0..self.max_iterations {
+            if let Some(limit) = self.time_limit {
+                if t0.elapsed() > limit {
+                    break; // fall through to the best-iterate return below
+                }
+            }
+            // Residuals.
+            let ax = problem.apply(&x);
+            let rp: Vec<f64> = b.iter().zip(&ax).map(|(bi, a)| bi - a).collect();
+            // Rd = C − Aᵀy − Z.
+            let mut rd = c_mat.clone();
+            problem.adjoint_accumulate(&y, -1.0, &mut rd);
+            rd.axpy(-1.0, &z);
+
+            let xz = x.dot(&z);
+            let mu = xz / big_n;
+            let pobj = problem.cost_dot(&x);
+            let dobj = vec_ops::dot(&b, &y);
+            let rp_rel = vec_ops::norm2(&rp) / bnorm;
+            let rd_rel = rd.norm_fro() / cnorm1;
+            let gap_rel = xz.abs() / (1.0 + pobj.abs() + dobj.abs());
+
+            if std::env::var_os("SNBC_SDP_TRACE").is_some() {
+                eprintln!(
+                    "sdp iter {iter}: rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e} mu={mu:.3e}"
+                );
+            }
+
+            let merit = rp_rel.max(rd_rel).max(gap_rel);
+            if best.as_ref().is_none_or(|(bm, ..)| merit < *bm) {
+                best = Some((merit, x.clone(), y.clone(), z.clone(), iter));
+            }
+            // Endgame divergence: as μ → 0 the scaled systems lose accuracy
+            // and primal feasibility can deteriorate irrecoverably; once the
+            // merit is far above the best visited, further iterations only
+            // burn time.
+            if let Some((bm, ..)) = &best {
+                if mu < 1e-9 && merit > 50.0 * bm.max(1e-12) {
+                    break;
+                }
+            }
+
+            if rp_rel < self.tolerance && rd_rel < self.tolerance && gap_rel < self.tolerance {
+                return Ok(SdpSolution {
+                    primal_objective: pobj,
+                    dual_objective: dobj,
+                    mu,
+                    primal_residual: rp_rel,
+                    dual_residual: rd_rel,
+                    x,
+                    y,
+                    z,
+                    iterations: iter,
+                    status: SdpStatus::Optimal,
+                });
+            }
+
+            // Divergence heuristics.
+            let xnorm = x.norm_fro();
+            let yznorm = vec_ops::norm_inf(&y).max(z.norm_fro());
+            if xnorm > 1e13 || yznorm > 1e13 {
+                return Err(if yznorm > xnorm {
+                    SdpError::Infeasible
+                } else {
+                    SdpError::Unbounded
+                });
+            }
+            if mu < 1e-6 * self.tolerance && rp_rel.max(rd_rel) > self.tolerance {
+                break; // numerical floor, return best below
+            }
+
+            // Factor blocks.
+            let scalings = self.factor_blocks(&x, &z)?;
+
+            // Schur complement M and the shared pieces of the rhs.
+            let schur = self.build_schur(problem, &scalings, m)?;
+
+            // Predictor: ν = 0, no corrector.
+            let (dx_aff, dy_aff, dz_aff) =
+                self.direction(problem, &scalings, &schur, &rp, &rd, &x, 0.0, None)?;
+            let _ = &dy_aff;
+            let alpha_p_aff = self.max_step(&x, &dx_aff, &scalings, true)?;
+            let alpha_d_aff = self.max_step(&z, &dz_aff, &scalings, false)?;
+            // μ after the affine step.
+            let mut x_aff = x.clone();
+            x_aff.axpy(alpha_p_aff.min(1.0), &dx_aff);
+            let mut z_aff = z.clone();
+            z_aff.axpy(alpha_d_aff.min(1.0), &dz_aff);
+            let mu_aff = x_aff.dot(&z_aff) / big_n;
+            let sigma = if mu > 0.0 {
+                (mu_aff / mu).powi(3).clamp(1e-6, 1.0)
+            } else {
+                0.1
+            };
+
+            // Corrector.
+            let (dx, dy, dz) = self.direction(
+                problem,
+                &scalings,
+                &schur,
+                &rp,
+                &rd,
+                &x,
+                sigma * mu,
+                Some((&dz_aff, &dx_aff)),
+            )?;
+
+            let alpha_p = (self.step_fraction * self.max_step(&x, &dx, &scalings, true)?).min(1.0);
+            let alpha_d = (self.step_fraction * self.max_step(&z, &dz, &scalings, false)?).min(1.0);
+
+            x.axpy(alpha_p, &dx);
+            vec_ops::axpy(alpha_d, &dy, &mut y);
+            z.axpy(alpha_d, &dz);
+        }
+
+        if let Some((merit, bx, by, bz, iter)) = best {
+            if merit < 2e-3 {
+                let pobj = problem.cost_dot(&bx);
+                let dobj = vec_ops::dot(&b, &by);
+                let mu = bx.dot(&bz) / big_n;
+                return Ok(SdpSolution {
+                    primal_objective: pobj,
+                    dual_objective: dobj,
+                    mu,
+                    primal_residual: merit,
+                    dual_residual: merit,
+                    x: bx,
+                    y: by,
+                    z: bz,
+                    iterations: iter,
+                    status: if merit < self.tolerance {
+                        SdpStatus::Optimal
+                    } else {
+                        SdpStatus::NearOptimal
+                    },
+                });
+            }
+        }
+        let mu = x.dot(&z) / big_n;
+        Err(SdpError::IterationLimit {
+            iterations: self.max_iterations,
+            mu,
+        })
+    }
+
+    fn factor_blocks(&self, x: &BlockMatrix, z: &BlockMatrix) -> Result<Vec<Scaling>, SdpError> {
+        let mut out = Vec::with_capacity(x.num_blocks());
+        for (xb, zb) in x.blocks().iter().zip(z.blocks()) {
+            match (xb, zb) {
+                (Block::Dense(xm), Block::Dense(zm)) => {
+                    let z_chol = zm.cholesky().or_else(|_| {
+                        // Tiny perturbation rescue.
+                        let mut p = zm.clone();
+                        for i in 0..p.nrows() {
+                            p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
+                        }
+                        p.cholesky()
+                    })?;
+                    let x_chol = xm.cholesky().or_else(|_| {
+                        let mut p = xm.clone();
+                        for i in 0..p.nrows() {
+                            p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
+                        }
+                        p.cholesky()
+                    })?;
+                    out.push(Scaling::Dense {
+                        zinv: z_chol.inverse(),
+                        x: xm.clone(),
+                        x_chol,
+                        z_chol,
+                    });
+                }
+                (Block::Diag(xd), Block::Diag(zd)) => out.push(Scaling::Diag {
+                    x: xd.clone(),
+                    z: zd.clone(),
+                }),
+                _ => unreachable!("block kinds fixed by shapes"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds and factors the Schur complement
+    /// `M_{kl} = Σⱼ tr(A_{kj} Zⱼ⁻¹ A_{lj} Xⱼ)` (symmetrized).
+    fn build_schur(
+        &self,
+        problem: &SdpProblem,
+        scalings: &[Scaling],
+        m: usize,
+    ) -> Result<Cholesky, SdpError> {
+        let mut big_m = Matrix::zeros(m, m);
+        // Dense blocks: one row of M at a time via U_k = Z⁻¹·(A_k·X), so only
+        // a single n×n product is alive at once (the full per-block cache
+        // would be O(m·n²) memory — hundreds of MB for the large joint
+        // programs).
+        for (j, scaling) in scalings.iter().enumerate() {
+            match scaling {
+                Scaling::Dense { zinv, x, .. } => {
+                    for k in 0..m {
+                        let entries = problem.constraint_entries(k);
+                        if entries.iter().all(|e| e.block != j) {
+                            continue;
+                        }
+                        let ax = sparse_times_dense(entries, j, x);
+                        let uk = zinv.matmul(&ax);
+                        for l in k..m {
+                            let entries_l = problem.constraint_entries(l);
+                            let mut acc = 0.0;
+                            for e in entries_l.iter().filter(|e| e.block == j) {
+                                // tr(A_l · U_k) with A_l symmetric-sparse.
+                                if e.row == e.col {
+                                    acc += e.value * uk[(e.row, e.col)];
+                                } else {
+                                    acc += e.value * (uk[(e.row, e.col)] + uk[(e.col, e.row)]);
+                                }
+                            }
+                            big_m[(k, l)] += acc;
+                        }
+                    }
+                }
+                Scaling::Diag { x, z } => {
+                    // M_kl += Σᵢ a_k[i]·a_l[i]·xᵢ/zᵢ. Assembled index-wise:
+                    // group the (constraint, value) pairs per diagonal index
+                    // and accumulate each group's outer product — O(Σᵢ cᵢ²)
+                    // instead of O(m²·nnz), which matters when a scalar free
+                    // variable (e.g. a barrier coefficient) appears in
+                    // hundreds of constraints.
+                    let d: Vec<f64> = x.iter().zip(z).map(|(xi, zi)| xi / zi).collect();
+                    let mut per_index: Vec<Vec<(usize, f64)>> = vec![Vec::new(); d.len()];
+                    for k in 0..m {
+                        for e in problem
+                            .constraint_entries(k)
+                            .iter()
+                            .filter(|e| e.block == j)
+                        {
+                            per_index[e.row].push((k, e.value));
+                        }
+                    }
+                    for (i, group) in per_index.iter().enumerate() {
+                        // Coalesce repeated entries of the same constraint at
+                        // this index (a_ki is the *sum* of its entry values).
+                        let mut coalesced: Vec<(usize, f64)> = Vec::with_capacity(group.len());
+                        for &(k, v) in group {
+                            match coalesced.iter_mut().find(|(ck, _)| *ck == k) {
+                                Some((_, cv)) => *cv += v,
+                                None => coalesced.push((k, v)),
+                            }
+                        }
+                        let di = d[i];
+                        for (a, &(k, vk)) in coalesced.iter().enumerate() {
+                            for &(l, vl) in &coalesced[a..] {
+                                let (k, l) = if k <= l { (k, l) } else { (l, k) };
+                                big_m[(k, l)] += vk * vl * di;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Symmetrize (HKM's Schur matrix is only approximately symmetric) and
+        // regularize.
+        for k in 0..m {
+            for l in (k + 1)..m {
+                big_m[(l, k)] = big_m[(k, l)];
+            }
+            big_m[(k, k)] += self.regularization * (1.0 + big_m[(k, k)]);
+        }
+        big_m
+            .cholesky()
+            .or_else(|_| {
+                for k in 0..m {
+                    big_m[(k, k)] += 1e-7 * (1.0 + big_m[(k, k)]);
+                }
+                big_m.cholesky()
+            })
+            .map_err(SdpError::from)
+    }
+
+    /// Computes the HKM direction for centering parameter `nu` (= σμ), with an
+    /// optional Mehrotra second-order correction `(dZ_aff, dX_aff)`.
+    #[allow(clippy::too_many_arguments)]
+    fn direction(
+        &self,
+        problem: &SdpProblem,
+        scalings: &[Scaling],
+        schur: &Cholesky,
+        rp: &[f64],
+        rd: &BlockMatrix,
+        x: &BlockMatrix,
+        nu: f64,
+        correction: Option<(&BlockMatrix, &BlockMatrix)>,
+    ) -> Result<(BlockMatrix, Vec<f64>, BlockMatrix), SdpError> {
+        let shapes: Vec<_> = problem.shapes().to_vec();
+        let m = problem.num_constraints();
+
+        // Rc_j = ν·Zⱼ⁻¹ − Xⱼ − Zⱼ⁻¹·(dZ_aff·dX_aff)ⱼ.
+        let mut rc = BlockMatrix::zeros(&shapes);
+        for (j, scaling) in scalings.iter().enumerate() {
+            match scaling {
+                Scaling::Dense { zinv, .. } => {
+                    let n = zinv.nrows();
+                    let mut blk = zinv.scale(nu);
+                    let xj = x.block(j).as_dense();
+                    for i in 0..n {
+                        for c in 0..n {
+                            blk[(i, c)] -= xj[(i, c)];
+                        }
+                    }
+                    if let Some((dz_aff, dx_aff)) = correction {
+                        let prod = dz_aff.block(j).as_dense().matmul(dx_aff.block(j).as_dense());
+                        let corr = zinv.matmul(&prod);
+                        for i in 0..n {
+                            for c in 0..n {
+                                blk[(i, c)] -= corr[(i, c)];
+                            }
+                        }
+                    }
+                    // The correction product is not symmetric; symmetrize so
+                    // the sparse inner products (which assume symmetry) and
+                    // the final dX agree.
+                    blk.symmetrize();
+                    *rc.block_mut(j) = Block::Dense(blk);
+                }
+                Scaling::Diag { x: xd, z: zd } => {
+                    let mut blk: Vec<f64> = xd
+                        .iter()
+                        .zip(zd)
+                        .map(|(xi, zi)| nu / zi - xi)
+                        .collect();
+                    if let Some((dz_aff, dx_aff)) = correction {
+                        let dzd = dz_aff.block(j).as_diag();
+                        let dxd = dx_aff.block(j).as_diag();
+                        for (i, b) in blk.iter_mut().enumerate() {
+                            *b -= dzd[i] * dxd[i] / zd[i];
+                        }
+                    }
+                    *rc.block_mut(j) = Block::Diag(blk);
+                }
+            }
+        }
+
+        // rhs_k = rp_k − ⟨A_k, Rc⟩ + ⟨A_k, Z⁻¹·Rd·X⟩.
+        let mut zrdx = BlockMatrix::zeros(&shapes);
+        for (j, scaling) in scalings.iter().enumerate() {
+            match scaling {
+                Scaling::Dense { zinv, x: xj, .. } => {
+                    let mut prod = zinv.matmul(rd.block(j).as_dense()).matmul(xj);
+                    // Z⁻¹·Rd·X is not symmetric; ⟨A, M⟩ = ⟨A, sym(M)⟩ for the
+                    // symmetric constraint matrices, so symmetrize before the
+                    // sparse dot products.
+                    prod.symmetrize();
+                    *zrdx.block_mut(j) = Block::Dense(prod);
+                }
+                Scaling::Diag { x: xd, z: zd } => {
+                    let rdd = rd.block(j).as_diag();
+                    let blk: Vec<f64> = (0..xd.len()).map(|i| rdd[i] * xd[i] / zd[i]).collect();
+                    *zrdx.block_mut(j) = Block::Diag(blk);
+                }
+            }
+        }
+        let mut rhs = vec![0.0; m];
+        for (k, r) in rhs.iter_mut().enumerate() {
+            let entries = problem.constraint_entries(k);
+            *r = rp[k] - entries_dot(entries, &rc) + entries_dot(entries, &zrdx);
+        }
+
+        let dy = solve_refined(schur, &rhs);
+
+        // dZ = Rd − Aᵀdy.
+        let mut dz = rd.clone();
+        problem.adjoint_accumulate(&dy, -1.0, &mut dz);
+
+        // dX = Rc − Z⁻¹·dZ·X, symmetrized.
+        let mut dx = rc;
+        for (j, scaling) in scalings.iter().enumerate() {
+            match scaling {
+                Scaling::Dense { zinv, x: xj, .. } => {
+                    let prod = zinv.matmul(dz.block(j).as_dense()).matmul(xj);
+                    let blk = dx.block_mut(j);
+                    if let Block::Dense(d) = blk {
+                        for i in 0..d.nrows() {
+                            for c in 0..d.ncols() {
+                                d[(i, c)] -= prod[(i, c)];
+                            }
+                        }
+                        d.symmetrize();
+                    }
+                }
+                Scaling::Diag { x: xd, z: zd } => {
+                    let dzd: Vec<f64> = dz.block(j).as_diag().to_vec();
+                    if let Block::Diag(d) = dx.block_mut(j) {
+                        for i in 0..d.len() {
+                            d[i] -= dzd[i] * xd[i] / zd[i];
+                        }
+                    }
+                }
+            }
+        }
+        Ok((dx, dy, dz))
+    }
+
+    /// Largest `α` keeping `V + α·dV` in the PSD cone (capped at 1e6).
+    fn max_step(
+        &self,
+        v: &BlockMatrix,
+        dv: &BlockMatrix,
+        scalings: &[Scaling],
+        primal: bool,
+    ) -> Result<f64, SdpError> {
+        let mut alpha = 1.0e6_f64;
+        for (j, (vb, db)) in v.blocks().iter().zip(dv.blocks()).enumerate() {
+            match (vb, db) {
+                (Block::Dense(_), Block::Dense(dm)) => {
+                    // λ_min of L⁻¹·dV·L⁻ᵀ where V = L·Lᵀ.
+                    let chol = match &scalings[j] {
+                        Scaling::Dense { x_chol, z_chol, .. } => {
+                            if primal {
+                                x_chol
+                            } else {
+                                z_chol
+                            }
+                        }
+                        Scaling::Diag { .. } => unreachable!("shape mismatch"),
+                    };
+                    let n = dm.nrows();
+                    // T = L⁻¹·dV (solve per column of dV on the left).
+                    let mut t = Matrix::zeros(n, n);
+                    for c in 0..n {
+                        let col = dm.col(c);
+                        let s = chol.solve_lower(&col);
+                        for r in 0..n {
+                            t[(r, c)] = s[r];
+                        }
+                    }
+                    // W = T·L⁻ᵀ = (L⁻¹·Tᵀ)ᵀ.
+                    let tt = t.transpose();
+                    let mut w = Matrix::zeros(n, n);
+                    for c in 0..n {
+                        let col = tt.col(c);
+                        let s = chol.solve_lower(&col);
+                        for r in 0..n {
+                            w[(r, c)] = s[r];
+                        }
+                    }
+                    let mut ws = w.transpose();
+                    ws.symmetrize();
+                    let lmin = ws.min_eigenvalue()?;
+                    if lmin < 0.0 {
+                        alpha = alpha.min(-1.0 / lmin);
+                    }
+                }
+                (Block::Diag(vd), Block::Diag(dd)) => {
+                    for (vi, di) in vd.iter().zip(dd) {
+                        if *di < 0.0 {
+                            alpha = alpha.min(-vi / di);
+                        }
+                    }
+                }
+                _ => unreachable!("block kinds fixed by shapes"),
+            }
+        }
+        Ok(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockShape;
+
+    fn default_solver() -> SdpSolver {
+        SdpSolver::default()
+    }
+
+    #[test]
+    fn min_trace_with_unit_diagonal() {
+        // min tr(X) s.t. X₀₀ = 1, X₁₁ = 1 ⇒ 2.
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(2)]);
+        p.set_cost(0, 0, 0, 1.0);
+        p.set_cost(0, 1, 1, 1.0);
+        let k0 = p.add_constraint(1.0);
+        p.set_coefficient(k0, 0, 0, 0, 1.0);
+        let k1 = p.add_constraint(1.0);
+        p.set_coefficient(k1, 0, 1, 1, 1.0);
+        let sol = default_solver().solve(&p).unwrap();
+        assert!((sol.primal_objective - 2.0).abs() < 1e-5);
+        assert!(sol.x.min_eigenvalue().unwrap() > -1e-8);
+    }
+
+    #[test]
+    fn off_diagonal_coupling() {
+        // min X₀₀ + X₁₁ s.t. 2·X₀₁ (counted twice) = 2 ⇒ X₀₁ = 1, optimum 2
+        // with X = ones (PSD boundary).
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(2)]);
+        p.set_cost(0, 0, 0, 1.0);
+        p.set_cost(0, 1, 1, 1.0);
+        let k = p.add_constraint(1.0);
+        p.set_coefficient(k, 0, 0, 1, 0.5); // ⟨A,X⟩ = X₀₁ (0.5 mirrored → ×2)
+        let sol = default_solver().solve(&p).unwrap();
+        assert!((sol.primal_objective - 2.0).abs() < 1e-4, "{}", sol.primal_objective);
+    }
+
+    #[test]
+    fn diag_block_is_an_lp() {
+        // min x₀ + 2x₁ s.t. x₀ + x₁ = 1, x ≥ 0 ⇒ 1.
+        let mut p = SdpProblem::new(vec![BlockShape::Diag(2)]);
+        p.set_cost(0, 0, 0, 1.0);
+        p.set_cost(0, 1, 1, 2.0);
+        let k = p.add_constraint(1.0);
+        p.set_coefficient(k, 0, 0, 0, 1.0);
+        p.set_coefficient(k, 0, 1, 1, 1.0);
+        let sol = default_solver().solve(&p).unwrap();
+        assert!((sol.primal_objective - 1.0).abs() < 1e-5);
+        assert!((sol.x.block(0).as_diag()[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mixed_blocks() {
+        // min tr(Xd) + s  s.t.  Xd₀₀ = 1, Xd₀₁·2·0.5 + s = 2 (s ≥ 0 diag).
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(2), BlockShape::Diag(1)]);
+        p.set_cost(0, 0, 0, 1.0);
+        p.set_cost(0, 1, 1, 1.0);
+        p.set_cost(1, 0, 0, 1.0);
+        let k0 = p.add_constraint(1.0);
+        p.set_coefficient(k0, 0, 0, 0, 1.0);
+        let k1 = p.add_constraint(2.0);
+        p.set_coefficient(k1, 0, 0, 1, 0.5);
+        p.set_coefficient(k1, 1, 0, 0, 1.0);
+        let sol = default_solver().solve(&p).unwrap();
+        // With X₀₀ = 1: choose X₀₁ = t, s = 2 − t, X₁₁ ≥ t². Cost = 1 + t² + 2 − t,
+        // minimized at t = 1/2 ⇒ 1 + 0.25 + 1.5 = 2.75.
+        assert!((sol.primal_objective - 2.75).abs() < 1e-4, "{}", sol.primal_objective);
+    }
+
+    #[test]
+    fn weak_duality_holds() {
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(3)]);
+        for i in 0..3 {
+            p.set_cost(0, i, i, (i + 1) as f64);
+        }
+        p.set_cost(0, 0, 2, 0.3);
+        let k0 = p.add_constraint(2.0);
+        p.set_coefficient(k0, 0, 0, 0, 1.0);
+        p.set_coefficient(k0, 0, 1, 1, 1.0);
+        let k1 = p.add_constraint(1.0);
+        p.set_coefficient(k1, 0, 1, 2, 0.5);
+        let sol = default_solver().solve(&p).unwrap();
+        assert!(sol.primal_objective >= sol.dual_objective - 1e-5);
+        assert!(sol.x.min_eigenvalue().unwrap() > -1e-7);
+        assert!(sol.z.min_eigenvalue().unwrap() > -1e-7);
+    }
+
+    #[test]
+    fn infeasible_diagonal() {
+        // x ≥ 0 with x₀ = −1.
+        let mut p = SdpProblem::new(vec![BlockShape::Diag(1)]);
+        p.set_cost(0, 0, 0, 1.0);
+        let k = p.add_constraint(-1.0);
+        p.set_coefficient(k, 0, 0, 0, 1.0);
+        let r = default_solver().solve(&p);
+        assert!(
+            matches!(r, Err(SdpError::Infeasible) | Err(SdpError::IterationLimit { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn feasibility_margin_problem() {
+        // The SOS-layer pattern: max t s.t. X − t·I ⪰ 0 written as
+        // X = H + t·I, H ⪰ 0, t ≤ 1, with X₀₀ = 2, X₁₁ = 2, X₀₁ = 1.
+        // max t ⇔ min −t. Variables: H (dense 2), t (diag split t⁺, slack).
+        // Constraints: H₀₀ + t = 2; H₁₁ + t = 2; H₀₁ = 1; t + s = 1.
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(2), BlockShape::Diag(2)]);
+        p.set_cost(1, 0, 0, -1.0); // min −t
+        let k0 = p.add_constraint(2.0);
+        p.set_coefficient(k0, 0, 0, 0, 1.0);
+        p.set_coefficient(k0, 1, 0, 0, 1.0);
+        let k1 = p.add_constraint(2.0);
+        p.set_coefficient(k1, 0, 1, 1, 1.0);
+        p.set_coefficient(k1, 1, 0, 0, 1.0);
+        let k2 = p.add_constraint(1.0);
+        p.set_coefficient(k2, 0, 0, 1, 0.5);
+        let k3 = p.add_constraint(1.0);
+        p.set_coefficient(k3, 1, 0, 0, 1.0);
+        p.set_coefficient(k3, 1, 1, 1, 1.0);
+        let sol = default_solver().solve(&p).unwrap();
+        // X = [[2,1],[1,2]] has λmin = 1, and t ≤ 1 binds ⇒ t* = 1.
+        assert!((sol.primal_objective + 1.0).abs() < 1e-4, "{}", sol.primal_objective);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the interior-point SDP solver on random feasible
+//! instances: weak duality, primal feasibility of the returned iterate, and
+//! PSD-ness of both primal and dual variables.
+
+use proptest::prelude::*;
+use snbc_linalg::Matrix;
+use snbc_sdp::{BlockShape, SdpProblem, SdpSolver};
+
+/// Builds a random feasible SDP: pick a PSD `X* = GᵀG`, random symmetric
+/// constraint matrices `A_k`, set `b_k = ⟨A_k, X*⟩`, random cost.
+fn random_feasible(
+    gen: &[f64],
+    coeffs: &[f64],
+    cost: &[f64],
+    n: usize,
+    m: usize,
+) -> (SdpProblem, Matrix) {
+    let g = Matrix::from_vec(n, n, gen[..n * n].to_vec());
+    let xstar = g.transpose().matmul(&g);
+    let mut p = SdpProblem::new(vec![BlockShape::Dense(n)]);
+    let mut idx = 0;
+    for i in 0..n {
+        for j in i..n {
+            p.set_cost(0, i, j, cost[idx % cost.len()]);
+            idx += 1;
+        }
+    }
+    for k in 0..m {
+        let kc = p.add_constraint(0.0);
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in i..n {
+                let v = coeffs[(k * n * n + i * n + j) % coeffs.len()];
+                p.set_coefficient(kc, 0, i, j, v);
+                acc += if i == j { v * xstar[(i, j)] } else { 2.0 * v * xstar[(i, j)] };
+            }
+        }
+        p.add_rhs(kc, acc);
+    }
+    (p, xstar)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn weak_duality_and_feasibility(
+        gen in proptest::collection::vec(-1.0f64..1.0, 9),
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 27),
+        cost in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let (p, _xstar) = random_feasible(&gen, &coeffs, &cost, 3, 2);
+        match SdpSolver::default().solve(&p) {
+            Ok(sol) => {
+                // Weak duality.
+                prop_assert!(
+                    sol.primal_objective >= sol.dual_objective - 1e-4 * (1.0 + sol.primal_objective.abs()),
+                    "primal {} < dual {}", sol.primal_objective, sol.dual_objective
+                );
+                // Primal residual small.
+                let ax = p.apply(&sol.x);
+                for (axk, bk) in ax.iter().zip(p.rhs()) {
+                    prop_assert!((axk - bk).abs() < 1e-3 * (1.0 + bk.abs()),
+                        "constraint violated: {axk} vs {bk}");
+                }
+                // Cone membership of both iterates.
+                prop_assert!(sol.x.min_eigenvalue().unwrap() > -1e-6);
+                prop_assert!(sol.z.min_eigenvalue().unwrap() > -1e-6);
+            }
+            // Unbounded is possible for random costs (the feasible X* only
+            // guarantees primal feasibility); iteration-limit is tolerated on
+            // borderline instances.
+            Err(snbc_sdp::SdpError::Unbounded) => {}
+            Err(snbc_sdp::SdpError::IterationLimit { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected solver failure: {e}"),
+        }
+    }
+
+    #[test]
+    fn trace_bounded_instances_solve_to_optimality(
+        gen in proptest::collection::vec(-1.0f64..1.0, 9),
+        diag in proptest::collection::vec(0.5f64..2.0, 3),
+    ) {
+        // min ⟨D, X⟩ with D ≻ 0, s.t. tr(X) = c: optimum is c·min(D_ii)
+        // attained at a rank-1 X on the smallest diagonal entry (for diagonal
+        // D the optimal X concentrates there).
+        let _ = gen;
+        let mut p = SdpProblem::new(vec![BlockShape::Dense(3)]);
+        for i in 0..3 {
+            p.set_cost(0, i, i, diag[i]);
+        }
+        let k = p.add_constraint(1.0);
+        for i in 0..3 {
+            p.set_coefficient(k, 0, i, i, 1.0);
+        }
+        let sol = SdpSolver::default().solve(&p).unwrap();
+        let dmin = diag.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((sol.primal_objective - dmin).abs() < 1e-4,
+            "objective {} vs expected {dmin}", sol.primal_objective);
+    }
+}

@@ -1,0 +1,103 @@
+use snbc_linalg::Matrix;
+use snbc_poly::{Monomial, Polynomial};
+
+/// An explicit sum-of-squares decomposition `p(x) = Σₖ qₖ(x)²`.
+///
+/// Produced from a Gram certificate by [`extract_squares`]; evaluating the
+/// squares reproduces the original polynomial up to the stated residual.
+#[derive(Debug, Clone)]
+pub struct SosDecomposition {
+    /// The square roots `qₖ`.
+    pub squares: Vec<Polynomial>,
+    /// `‖p − Σ qₖ²‖∞` over coefficients, a measure of numerical fidelity.
+    pub residual: f64,
+}
+
+/// Extracts an explicit SOS decomposition from a Gram certificate
+/// `p = basisᵀ·G·basis` with `G ⪰ 0` by eigendecomposition:
+/// `G = Σ λₖ vₖvₖᵀ ⇒ p = Σ (√λₖ · vₖᵀ·basis)²` (negative eigenvalues below
+/// `-tol` are reported through the residual instead of silently dropped).
+///
+/// # Errors
+///
+/// Returns the eigensolver error if the Gram matrix cannot be diagonalized.
+///
+/// # Example
+///
+/// ```
+/// use snbc_linalg::Matrix;
+/// use snbc_poly::{monomial_basis, Polynomial};
+/// use snbc_sos::extract_squares;
+///
+/// // G = I over basis [1, x] gives p = 1 + x².
+/// let basis = monomial_basis(1, 1);
+/// let g = Matrix::identity(2);
+/// let p: Polynomial = "1 + x0^2".parse().unwrap();
+/// let dec = extract_squares(&p, &basis, &g).unwrap();
+/// assert!(dec.residual < 1e-12);
+/// assert_eq!(dec.squares.len(), 2);
+/// ```
+pub fn extract_squares(
+    p: &Polynomial,
+    basis: &[Monomial],
+    gram: &Matrix,
+) -> Result<SosDecomposition, snbc_linalg::LinalgError> {
+    let eig = gram.symmetric_eigen()?;
+    let v = eig.eigenvectors();
+    let mut squares = Vec::new();
+    for (k, &lambda) in eig.eigenvalues().iter().enumerate() {
+        if lambda <= 0.0 {
+            continue;
+        }
+        let scale = lambda.sqrt();
+        let mut q = Polynomial::zero();
+        for (i, m) in basis.iter().enumerate() {
+            q.add_term(scale * v[(i, k)], m.clone());
+        }
+        if !q.is_zero() {
+            squares.push(q);
+        }
+    }
+    // Residual: p − Σ q².
+    let mut recon = Polynomial::zero();
+    for q in &squares {
+        recon += &(q * q);
+    }
+    let residual = (p - &recon).max_abs_coeff();
+    Ok(SosDecomposition { squares, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SosExpr, SosProgram};
+    use snbc_poly::monomial_basis;
+
+    #[test]
+    fn decomposition_reproduces_polynomial() {
+        let p: Polynomial = "2*x0^2 - 2*x0*x1 + x1^2 + 1".parse().unwrap();
+        let mut prog = SosProgram::new(2);
+        let cert = prog.require_sos(SosExpr::from_poly(p.clone()));
+        let sol = prog.solve_default().unwrap();
+        let (basis, gram) = sol.gram(cert).unwrap();
+        let dec = extract_squares(sol.poly(cert), basis, gram).unwrap();
+        assert!(dec.residual < 1e-6, "residual {}", dec.residual);
+        // Check p ≈ Σ q² pointwise as well.
+        for x in [[-1.0, 0.5], [0.3, 2.0], [0.0, 0.0]] {
+            let direct = p.eval(&x);
+            let via: f64 = dec.squares.iter().map(|q| q.eval(&x).powi(2)).sum();
+            assert!((direct - via).abs() < 1e-4, "{direct} vs {via}");
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficient_gram() {
+        // p = x² exactly: Gram [[0,0],[0,1]] over [1, x].
+        let basis = monomial_basis(1, 1);
+        let g = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+        let p: Polynomial = "x0^2".parse().unwrap();
+        let dec = extract_squares(&p, &basis, &g).unwrap();
+        assert_eq!(dec.squares.len(), 1);
+        assert!(dec.residual < 1e-12);
+    }
+}

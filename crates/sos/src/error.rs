@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use snbc_sdp::SdpError;
+
+/// Errors produced by the SOS layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SosError {
+    /// Program construction error (mismatched variables, empty program, …).
+    Invalid(String),
+    /// The underlying SDP reported the feasibility problem infeasible, or the
+    /// achieved margin was not positive: no SOS certificate of the requested
+    /// degrees exists (numerically).
+    Infeasible { margin: f64 },
+    /// The SDP solver failed.
+    Solver(SdpError),
+}
+
+impl fmt::Display for SosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SosError::Invalid(msg) => write!(f, "invalid SOS program: {msg}"),
+            SosError::Infeasible { margin } => {
+                write!(f, "no SOS certificate found (margin {margin:.3e})")
+            }
+            SosError::Solver(e) => write!(f, "SDP solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for SosError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SosError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdpError> for SosError {
+    fn from(e: SdpError) -> Self {
+        match e {
+            SdpError::Infeasible => SosError::Infeasible {
+                margin: f64::NEG_INFINITY,
+            },
+            other => SosError::Solver(other),
+        }
+    }
+}

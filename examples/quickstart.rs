@@ -1,0 +1,56 @@
+//! Quickstart: synthesize a neural barrier certificate for a 2-D benchmark.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use snbc::{Snbc, SnbcConfig};
+use snbc_dynamics::benchmarks;
+use snbc_nn::{train_controller, ControllerTraining};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a benchmark system C = ⟨f, Θ, Ψ⟩ with unsafe set Ξ.
+    let bench = benchmarks::benchmark(3);
+    println!(
+        "System {}: n_x = {}, d_f = {}",
+        bench.name,
+        bench.system.nvars(),
+        bench.d_f
+    );
+
+    // 2. Pre-train the NN controller (the paper uses DDPG; we regress onto a
+    //    stabilizing law — the pipeline only sees the fixed network).
+    let controller = train_controller(
+        bench.system.domain().bounding_box(),
+        bench.target_law,
+        &ControllerTraining::default(),
+    );
+    println!(
+        "Controller: tanh MLP {:?}, Lipschitz bound {:.3}",
+        controller.layer_sizes(),
+        controller.lipschitz_bound()
+    );
+
+    // 3. Run SNBC (Algorithm 1): abstraction → learn → LMI-verify → refine.
+    let result = Snbc::new(SnbcConfig::default()).synthesize(&bench, &controller)?;
+
+    println!("\nVerified barrier certificate (after {} iterations):", result.iterations);
+    println!("  B(x) = {}", result.barrier);
+    println!("  λ(x) = {}", result.lambda);
+    println!(
+        "  controller abstraction: h(x) with |k(x) − h(x)| ≤ σ* = {:.4}",
+        result.inclusion.sigma_star
+    );
+    println!(
+        "  LMI margins: init {:.4}, unsafe {:.4}, flow {:.4}",
+        result.verification.init.margin,
+        result.verification.unsafe_.margin,
+        result.verification.flow.margin
+    );
+    println!(
+        "  timings: T_l {:.3}s, T_c {:.3}s, T_v {:.3}s, T_e {:.3}s",
+        result.t_learn.as_secs_f64(),
+        result.t_cex.as_secs_f64(),
+        result.t_verify.as_secs_f64(),
+        result.t_total.as_secs_f64()
+    );
+    Ok(())
+}

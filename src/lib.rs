@@ -1,0 +1,2 @@
+//! Umbrella package hosting workspace-level examples and integration tests.
+pub use snbc;

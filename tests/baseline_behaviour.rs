@@ -1,0 +1,107 @@
+//! Integration checks of the Table 1 baselines: each tool's certificates are
+//! genuine (validated by the independent interval verifier), and the scaling
+//! behaviour the paper reports is visible in-simulator.
+
+use std::time::Duration;
+
+use snbc_baselines::{Fossil, FossilConfig, NncChecker, NncCheckerConfig, SosTools, SosToolsConfig};
+use snbc_dynamics::benchmarks;
+use snbc_interval::{BranchAndBound, Interval, Verdict};
+use snbc_poly::Polynomial;
+
+fn inclusion(law: &str) -> snbc::PolynomialInclusion {
+    snbc::PolynomialInclusion {
+        h: law.parse().unwrap(),
+        sigma_tilde: 0.0,
+        sigma_star: 0.0,
+        lipschitz: 0.0,
+        covering_radius: 0.0,
+        mesh_points: 0,
+    }
+}
+
+/// Checks conditions (i) and (ii) of a produced certificate with the interval
+/// verifier — a tool-independent audit.
+fn audit_separation(b: &Polynomial, bench: &benchmarks::Benchmark) {
+    let boxed = |bounds: &[(f64, f64)]| -> Vec<Interval> {
+        bounds.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect()
+    };
+    let bb = BranchAndBound::default();
+    let r1 = bb.check_at_least(
+        b,
+        &boxed(bench.system.init().bounding_box()),
+        bench.system.init().polys(),
+        0.0,
+    );
+    assert_eq!(r1.verdict, Verdict::Holds, "B not nonnegative on Θ");
+    let neg = -b;
+    let r2 = bb.check_at_least(
+        &neg,
+        &boxed(bench.system.unsafe_set().bounding_box()),
+        bench.system.unsafe_set().polys(),
+        0.0,
+    );
+    assert_eq!(r2.verdict, Verdict::Holds, "B not negative on Ξ");
+}
+
+#[test]
+fn fossil_certificate_audited() {
+    let bench = benchmarks::benchmark(3);
+    let report = Fossil::new(FossilConfig {
+        time_limit: Duration::from_secs(600),
+        ..Default::default()
+    })
+    .synthesize(&bench, &inclusion("-0.5*x0"));
+    assert!(report.success, "{:?}", report.failure);
+    audit_separation(report.barrier.as_ref().unwrap(), &bench);
+}
+
+#[test]
+fn nncchecker_certificate_audited() {
+    let bench = benchmarks::benchmark(3);
+    let report = NncChecker::new(NncCheckerConfig {
+        time_limit: Duration::from_secs(600),
+        ..Default::default()
+    })
+    .synthesize(&bench, &inclusion("-0.5*x0"));
+    assert!(report.success, "{:?}", report.failure);
+    audit_separation(report.barrier.as_ref().unwrap(), &bench);
+}
+
+#[test]
+fn sostools_certificate_audited() {
+    let bench = benchmarks::benchmark(3);
+    let report = SosTools::new(SosToolsConfig {
+        time_limit: Duration::from_secs(600),
+        ..Default::default()
+    })
+    .synthesize(&bench, &inclusion("-0.5*x0"));
+    assert!(report.success, "{:?}", report.failure);
+    audit_separation(report.barrier.as_ref().unwrap(), &bench);
+}
+
+/// The dimensional blow-up of SMT-style verification (the Table 1 `OT`
+/// mechanism): the same δ-complete query costs orders of magnitude more boxes
+/// as the dimension rises.
+#[test]
+fn smt_box_count_grows_with_dimension() {
+    let boxes = |n: usize| {
+        let terms: Vec<String> = (0..n).map(|i| format!("0.5*x{i}^2")).collect();
+        // Tight positivity query with cross terms to defeat term-wise
+        // tightness.
+        let cross: Vec<String> = (0..n - 1).map(|i| format!("0.3*x{i}*x{}", i + 1)).collect();
+        let p: Polynomial = format!("{} + {} + 0.01", terms.join("+"), cross.join("+"))
+            .parse()
+            .unwrap();
+        let domain = vec![Interval::new(-1.0, 1.0); n];
+        BranchAndBound::default()
+            .check_at_least(&p, &domain, &[], 0.0)
+            .boxes_processed
+    };
+    let b2 = boxes(2);
+    let b4 = boxes(4);
+    assert!(
+        b4 >= 4 * b2,
+        "expected strong growth with dimension: {b2} boxes in 2-D vs {b4} in 4-D"
+    );
+}

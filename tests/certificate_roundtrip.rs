@@ -1,0 +1,54 @@
+//! Cross-crate integration: synthesize on a file-format system, export the
+//! certificate, re-import it and validate through both soundness paths.
+
+use std::time::Duration;
+
+use snbc::certificate::SafetyCertificate;
+use snbc::{Snbc, SnbcConfig};
+use snbc_cli::{parse_system, ControllerSpec, EXAMPLE_SYSTEM};
+use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
+use snbc_nn::{train_controller, ControllerTraining};
+
+#[test]
+fn file_to_certificate_and_back() {
+    let sf = parse_system(EXAMPLE_SYSTEM).expect("example parses");
+    let law = match &sf.controller {
+        ControllerSpec::Train(p) => p.clone(),
+        other => panic!("example uses a trained controller, got {other:?}"),
+    };
+    let controller = train_controller(
+        sf.system.domain().bounding_box(),
+        move |x| law.eval(x),
+        &ControllerTraining::default(),
+    );
+    let bench = Benchmark {
+        name: "cli",
+        index: 0,
+        system: sf.system.clone(),
+        target_law: |_| 0.0,
+        nn_b_hidden: vec![10],
+        lambda_spec: LambdaSpec::Linear(vec![5]),
+        citation: "integration test",
+        d_f: sf.system.field_degree(),
+    };
+    let result = Snbc::new(SnbcConfig {
+        time_limit: Duration::from_secs(600),
+        ..Default::default()
+    })
+    .synthesize(&bench, &controller)
+    .expect("example system certifies");
+
+    // Round trip the certificate through its text form.
+    let cert = SafetyCertificate::from_result(&sf.name, &result);
+    let text = cert.to_string();
+    let back: SafetyCertificate = text.parse().expect("certificate parses");
+    assert_eq!(cert, back);
+
+    // Deep validation (LMI + interval) of the re-imported certificate.
+    assert!(back.validate(&sf.system, true), "re-imported certificate must validate");
+
+    // A tampered certificate must fail.
+    let mut bad = back.clone();
+    bad.barrier = &bad.barrier - &"10".parse().unwrap();
+    assert!(!bad.validate(&sf.system, false));
+}
