@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: audit gate first (cheapest, catches policy regressions
+# before a long build), then release build, then tests. Fail-fast.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> snbc-audit (static analysis gate)"
+cargo run -q -p snbc-audit
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo test -q --features sanitize (solver crates)"
+cargo test -q -p snbc-linalg -p snbc-lp -p snbc-sdp --features snbc-linalg/sanitize
+
+echo "CI OK"

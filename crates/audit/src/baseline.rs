@@ -1,0 +1,166 @@
+//! Baseline ("ratchet") handling.
+//!
+//! The checked-in `audit-baseline.txt` records, per `(rule, file)`, how many
+//! findings are currently tolerated. The gate fails only on *regressions*
+//! (counts above baseline, or findings in files with no baseline entry), so
+//! legacy debt doesn't block CI while new debt can never land. Improvements
+//! are reported so the baseline can be re-tightened with `--update-baseline`.
+//!
+//! File format, one entry per line, sorted, `#` comments allowed:
+//!
+//! ```text
+//! <rule-id> <workspace-relative-path> <count>
+//! ```
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+
+pub type BaselineMap = BTreeMap<(Rule, String), usize>;
+
+/// Parse baseline text. Unknown rules or malformed lines are errors — a
+/// silently-ignored baseline line would silently re-admit findings.
+pub fn parse(text: &str) -> Result<BaselineMap, String> {
+    let mut map = BaselineMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("baseline line {}: expected `<rule> <file> <count>`", idx + 1));
+        };
+        let rule = Rule::from_id(rule)
+            .ok_or_else(|| format!("baseline line {}: unknown rule `{rule}`", idx + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+        if map.insert((rule, file.to_string()), count).is_some() {
+            return Err(format!("baseline line {}: duplicate entry", idx + 1));
+        }
+    }
+    Ok(map)
+}
+
+/// Serialize findings into baseline text (sorted, stable).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# snbc-audit baseline — tolerated findings per (rule, file).\n\
+         # Regenerate with `cargo run -p snbc-audit -- --update-baseline`.\n",
+    );
+    for ((rule, file), count) in &count_by_key(findings) {
+        out.push_str(&format!("{} {} {}\n", rule.id(), file, count));
+    }
+    out
+}
+
+fn count_by_key(findings: &[Finding]) -> BaselineMap {
+    let mut map = BaselineMap::new();
+    for f in findings {
+        *map.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Outcome of diffing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings beyond what the baseline tolerates, grouped for reporting.
+    pub regressions: Vec<(Rule, String, usize, usize)>, // (rule, file, current, tolerated)
+    /// Baseline entries whose counts dropped (candidates for tightening).
+    pub improvements: Vec<(Rule, String, usize, usize)>,
+}
+
+impl Diff {
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare current findings to the baseline.
+pub fn diff(findings: &[Finding], baseline: &BaselineMap) -> Diff {
+    let current = count_by_key(findings);
+    let mut out = Diff::default();
+    for ((rule, file), &count) in &current {
+        let tolerated = baseline.get(&(*rule, file.clone())).copied().unwrap_or(0);
+        if count > tolerated {
+            out.regressions.push((*rule, file.clone(), count, tolerated));
+        }
+    }
+    for ((rule, file), &tolerated) in baseline {
+        let count = current.get(&(*rule, file.clone())).copied().unwrap_or(0);
+        if count < tolerated {
+            out.improvements.push((*rule, file.clone(), count, tolerated));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(rule: Rule, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 3),
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 9),
+            finding(Rule::Panicking, "crates/b/src/lib.rs", 1),
+        ];
+        let text = render(&findings);
+        let map = parse(&text).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&(Rule::FloatEq, "crates/a/src/lib.rs".into())], 2);
+        assert!(diff(&findings, &map).is_clean());
+    }
+
+    #[test]
+    fn regression_on_new_file_and_on_count_increase() {
+        let baseline = parse("float-eq crates/a/src/lib.rs 1\n").unwrap();
+        // Count increase in a known file.
+        let more = vec![
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 1),
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 2),
+        ];
+        let d = diff(&more, &baseline);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].2, 2);
+        // A fresh file not in the baseline at all.
+        let fresh = vec![finding(Rule::Panicking, "crates/c/src/lib.rs", 5)];
+        assert!(!diff(&fresh, &baseline).is_clean());
+    }
+
+    #[test]
+    fn improvement_reported_not_fatal() {
+        let baseline = parse("panicking crates/b/src/lib.rs 4\n").unwrap();
+        let d = diff(&[], &baseline);
+        assert!(d.is_clean());
+        assert_eq!(d.improvements.len(), 1);
+        assert_eq!(d.improvements[0].3, 4);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("float-eq only-two-fields\n").is_err());
+        assert!(parse("no-such-rule f.rs 1\n").is_err());
+        assert!(parse("float-eq f.rs not-a-number\n").is_err());
+        assert!(parse("float-eq f.rs 1\nfloat-eq f.rs 2\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let map = parse("# header\n\nfloat-eq a.rs 1\n").unwrap();
+        assert_eq!(map.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! `snbc-audit` — numerical-soundness static analysis for the SNBC workspace.
+//!
+//! The from-scratch interior-point solvers (`snbc-lp`, `snbc-sdp`) and the
+//! factorization kernels under them (`snbc-linalg`) stand in for MOSEK-class
+//! solvers; a silent NaN or an exact-float-equality branch inside an IPM
+//! iteration can turn a "verified" barrier certificate into a wrong answer.
+//! This crate is the standing gate against that class of bug:
+//!
+//! - a comment/string-aware tokenizer ([`tokenizer`]) — no `syn`, std only;
+//! - soundness rules ([`rules`]): exact float comparisons, panicking calls in
+//!   solver library code, lossy numeric casts;
+//! - architecture rules ([`arch`]): Cargo.toml dependencies must match the
+//!   DESIGN.md DAG, externals limited to `rand`/`proptest`/`criterion`/`serde`;
+//! - a regression baseline ([`baseline`]) with inline
+//!   `// audit:allow(<rule>)` suppressions.
+//!
+//! The binary exits non-zero on regressions, so `ci.sh` and the tier-1 test
+//! suite can use it as a gate. The runtime counterpart is the `sanitize`
+//! cargo feature on `snbc-linalg`/`snbc-lp`/`snbc-sdp`, which asserts
+//! finiteness and step invariants inside the hot loops themselves.
+
+pub mod arch;
+pub mod baseline;
+pub mod rules;
+pub mod tokenizer;
+
+use rules::{Finding, Rule, ScanOptions};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees must not contain panicking calls: the solver
+/// stack that the verifier side of CEGIS leans on.
+pub const SOLVER_CRATES: &[&str] = &["linalg", "lp", "sdp", "sos", "interval"];
+
+/// Configuration for a workspace audit run.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+}
+
+/// Result of a workspace audit: all unsuppressed findings, sorted.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    pub findings: Vec<Finding>,
+    /// Files scanned (workspace-relative), for reporting/coverage checks.
+    pub files_scanned: usize,
+}
+
+/// Walk `crates/*/src/**/*.rs` plus every `crates/*/Cargo.toml` and apply all
+/// rules. IO problems are hard errors: an unreadable source file must fail
+/// the gate, not silently shrink its coverage.
+pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
+    let crates_dir = cfg.root.join("crates");
+    let mut report = AuditReport::default();
+
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+
+        let manifest_path = crate_dir.join("Cargo.toml");
+        if manifest_path.is_file() {
+            let manifest = fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+            let rel = rel_path(&cfg.root, &manifest_path);
+            report
+                .findings
+                .extend(arch::check_manifest(&crate_name, &rel, &manifest));
+        }
+
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let opts = ScanOptions {
+            check_panicking: SOLVER_CRATES.contains(&crate_name.as_str()),
+        };
+        let mut sources = Vec::new();
+        collect_rs_files(&src_dir, &mut sources)?;
+        sources.sort();
+        for path in sources {
+            let src = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = rel_path(&cfg.root, &path);
+            report.findings.extend(rules::scan_source(&rel, &src, opts));
+            report.files_scanned += 1;
+        }
+    }
+
+    report.findings.sort();
+    Ok(report)
+}
+
+/// Render findings grouped by rule, for terminal output.
+pub fn render_findings(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for rule in [Rule::Arch, Rule::Panicking, Rule::FloatEq, Rule::LossyCast] {
+        let of_rule: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+        if of_rule.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("[{}] {} finding(s)\n", rule.id(), of_rule.len()));
+        for f in of_rule {
+            out.push_str(&format!("  {}:{}: {}\n", f.file, f.line, f.message));
+        }
+    }
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("cannot read dir entry under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audits_the_real_workspace() {
+        // CARGO_MANIFEST_DIR = crates/audit → workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let report = audit_workspace(&AuditConfig { root }).unwrap();
+        // The workspace has 14 crates with ~90 source files; if we ever scan
+        // fewer than 50 something is broken in the walker.
+        assert!(report.files_scanned > 50, "only scanned {}", report.files_scanned);
+    }
+}

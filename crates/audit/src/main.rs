@@ -1,0 +1,131 @@
+//! `snbc-audit` binary: run the workspace audit, diff against the checked-in
+//! baseline, and gate on regressions.
+//!
+//! ```text
+//! snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]
+//! ```
+//!
+//! Exit codes: 0 = clean vs baseline, 1 = regressions, 2 = usage/IO error.
+
+use snbc_audit::{audit_workspace, baseline, render_findings, AuditConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("snbc-audit: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--baseline" => {
+                baseline_path =
+                    Some(PathBuf::from(args.next().ok_or("--baseline needs a value")?))
+            }
+            "--update-baseline" => update = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from (crates/audit/../..).
+    let root = match root {
+        Some(r) => r,
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root: {e}"))?;
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("audit-baseline.txt"));
+
+    let report = audit_workspace(&AuditConfig { root: root.clone() })?;
+    println!(
+        "snbc-audit: scanned {} source files, {} finding(s)",
+        report.files_scanned,
+        report.findings.len()
+    );
+    if list && !report.findings.is_empty() {
+        print!("{}", render_findings(&report.findings));
+    }
+
+    if update {
+        std::fs::write(&baseline_path, baseline::render(&report.findings))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!("snbc-audit: baseline written to {}", baseline_path.display());
+        return Ok(true);
+    }
+
+    let tolerated = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        baseline::parse(&text)?
+    } else {
+        println!(
+            "snbc-audit: no baseline at {} (treating all findings as regressions)",
+            baseline_path.display()
+        );
+        baseline::BaselineMap::new()
+    };
+
+    let diff = baseline::diff(&report.findings, &tolerated);
+    for (rule, file, current, allowed) in &diff.improvements {
+        println!(
+            "snbc-audit: improvement: [{}] {} now {} (baseline tolerates {}) — consider --update-baseline",
+            rule.id(),
+            file,
+            current,
+            allowed
+        );
+    }
+    if diff.is_clean() {
+        println!("snbc-audit: OK (no regressions vs baseline)");
+        return Ok(true);
+    }
+
+    eprintln!("snbc-audit: REGRESSIONS vs {}:", baseline_path.display());
+    for (rule, file, current, allowed) in &diff.regressions {
+        eprintln!(
+            "  [{}] {}: {} finding(s), baseline tolerates {}",
+            rule.id(),
+            file,
+            current,
+            allowed
+        );
+        for f in report
+            .findings
+            .iter()
+            .filter(|f| f.rule == *rule && &f.file == file)
+        {
+            eprintln!("    {}:{}: {}", f.file, f.line, f.message);
+        }
+    }
+    eprintln!(
+        "snbc-audit: fix the findings, annotate `// audit:allow(<rule>)` where exactness is intended, or run with --update-baseline"
+    );
+    Ok(false)
+}

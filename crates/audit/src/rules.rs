@@ -1,0 +1,360 @@
+//! The numerical-soundness rules applied to tokenized Rust source.
+//!
+//! Rule identifiers (used in baselines and `// audit:allow(...)` markers):
+//!
+//! | id | what it flags |
+//! |---|---|
+//! | `float-eq` | `==` / `!=` with a float literal on either side |
+//! | `panicking` | `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in solver-crate library code |
+//! | `lossy-cast` | `as` casts to a numeric type narrower than 64 bits (`f32`, `i8..i32`, `u8..u32`) |
+//!
+//! All rules skip `#[cfg(test)]` / `#[test]` items: test code is allowed to
+//! unwrap and compare exactly. Suppressions apply on the finding's line or the
+//! line directly above it.
+
+use crate::tokenizer::{tokenize, Lexed, Token, TokenKind};
+use std::fmt;
+
+/// Rule identity. `Arch` findings come from `arch.rs`, not from token scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    FloatEq,
+    Panicking,
+    LossyCast,
+    Arch,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::FloatEq => "float-eq",
+            Rule::Panicking => "panicking",
+            Rule::LossyCast => "lossy-cast",
+            Rule::Arch => "arch",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "float-eq" => Some(Rule::FloatEq),
+            "panicking" => Some(Rule::Panicking),
+            "lossy-cast" => Some(Rule::LossyCast),
+            "arch" => Some(Rule::Arch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation, reported against a workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file scan options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// Apply the `panicking` rule (library code of solver crates only).
+    pub check_panicking: bool,
+}
+
+/// Scan one source file and return its (unsuppressed) findings.
+pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding> {
+    let lexed = tokenize(src);
+    let masked = test_region_mask(&lexed.tokens);
+    let mut findings = Vec::new();
+
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if masked[i] {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Punct if tok.text == "==" || tok.text == "!=" => {
+                if float_operand(&lexed.tokens, i) {
+                    findings.push(Finding {
+                        rule: Rule::FloatEq,
+                        file: rel_path.to_string(),
+                        line: tok.line,
+                        message: format!(
+                            "exact float comparison `{}` — use a tolerance or annotate audit:allow(float-eq)",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+            TokenKind::Ident if tok.text == "as" => {
+                if let Some(next) = lexed.tokens.get(i + 1) {
+                    if next.kind == TokenKind::Ident && is_narrow_numeric(&next.text) {
+                        findings.push(Finding {
+                            rule: Rule::LossyCast,
+                            file: rel_path.to_string(),
+                            line: tok.line,
+                            message: format!("potentially lossy cast `as {}`", next.text),
+                        });
+                    }
+                }
+            }
+            TokenKind::Ident if opts.check_panicking => {
+                if let Some(msg) = panicking_call(&lexed.tokens, i) {
+                    findings.push(Finding {
+                        rule: Rule::Panicking,
+                        file: rel_path.to_string(),
+                        line: tok.line,
+                        message: msg,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    apply_suppressions(findings, &lexed)
+}
+
+/// Drop findings that carry an `audit:allow(<rule>)` marker on the same line
+/// or the line directly above.
+fn apply_suppressions(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !lexed.suppressions.iter().any(|s| {
+                s.rule == f.rule.id() && (s.line == f.line || s.line + 1 == f.line)
+            })
+        })
+        .collect()
+}
+
+/// True when either operand of the comparator at `i` is a float literal
+/// (allowing a unary minus and simple unsuffixed parens on the literal side).
+fn float_operand(tokens: &[Token], i: usize) -> bool {
+    let prev_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+    let next_float = match tokens.get(i + 1) {
+        Some(t) if t.kind == TokenKind::Float => true,
+        Some(t) if t.kind == TokenKind::Punct && t.text == "-" => {
+            matches!(tokens.get(i + 2), Some(t2) if t2.kind == TokenKind::Float)
+        }
+        _ => false,
+    };
+    prev_float || next_float
+}
+
+fn is_narrow_numeric(ty: &str) -> bool {
+    matches!(
+        ty,
+        "f32" | "i8" | "i16" | "i32" | "u8" | "u16" | "u32"
+    )
+}
+
+/// Recognize panicking constructs at token `i`.
+fn panicking_call(tokens: &[Token], i: usize) -> Option<String> {
+    let t = &tokens[i];
+    let next = tokens.get(i + 1);
+    let is_macro_bang = matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "!");
+    match t.text.as_str() {
+        "panic" | "unreachable" | "todo" | "unimplemented" if is_macro_bang => {
+            Some(format!("`{}!` in solver library code", t.text))
+        }
+        "unwrap" | "expect" => {
+            // Must be a method call: preceded by `.`, followed by `(`.
+            let dotted =
+                i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
+            let called =
+                matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "(");
+            if dotted && called {
+                Some(format!(
+                    "`.{}()` in solver library code — return an Error instead",
+                    t.text
+                ))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Compute a boolean mask over tokens marking `#[cfg(test)]` / `#[test]`
+/// items (the attribute plus the entire following item), so rules skip test
+/// code embedded in library files.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[") {
+            // Collect the attribute tokens up to the matching `]`.
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr: Vec<&str> = tokens[attr_start..j].iter().map(|t| t.text.as_str()).collect();
+            if is_test_attr(&attr) {
+                // Mask the attribute and the following item: everything up to
+                // the end of the next balanced `{...}` block, or a `;` at
+                // nesting level zero (e.g. `#[cfg(test)] use ...;`).
+                let mut k = j;
+                let mut brace = 0usize;
+                let mut entered = false;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "{" => {
+                            brace += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            brace = brace.saturating_sub(1);
+                            if entered && brace == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        ";" if !entered && brace == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(k).skip(attr_start) {
+                    *m = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn is_test_attr(attr: &[&str]) -> bool {
+    // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, `#[tokio::test]`-style.
+    match attr {
+        ["#", "[", "test", "]"] => true,
+        ["#", "[", "cfg", "(", rest @ ..] => rest.contains(&"test"),
+        _ => attr.len() >= 2 && attr[attr.len() - 2] == "test",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: ScanOptions = ScanOptions { check_panicking: true };
+    const NON_SOLVER: ScanOptions = ScanOptions { check_panicking: false };
+
+    #[test]
+    fn flags_exact_float_comparisons() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(x: f64) -> bool { 1e-9 != x }\n";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::FloatEq));
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn negative_literal_rhs_is_flagged() {
+        let found = scan_source("a.rs", "fn f(x: f64) -> bool { x == -1.5 }", NON_SOLVER);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn integer_comparisons_are_fine() {
+        let found = scan_source("a.rs", "fn f(n: usize) -> bool { n == 0 && n != 3 }", LIB);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn flags_panicking_in_solver_lib_only() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert_eq!(scan_source("a.rs", src, LIB).len(), 1);
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn unwrap_as_plain_ident_is_not_a_call() {
+        let src = "fn unwrap() {} fn g() { unwrap(); let expect = 3; }";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn flags_macros() {
+        let src = "fn f() { panic!(\"x\"); unreachable!(); }";
+        let found = scan_source("a.rs", src, LIB);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::Panicking));
+    }
+
+    #[test]
+    fn flags_lossy_casts() {
+        let src = "fn f(x: f64, n: usize) -> f32 { let _ = n as u32; x as f32 }";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::LossyCast));
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let src = "fn f(n: u32) -> f64 { let _ = n as u64; n as f64 }";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_skipped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { None::<u8>.unwrap(); assert!(0.0 == 0.0); }\n}\n";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_mod_is_still_scanned() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let found = scan_source("a.rs", src, LIB);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // audit:allow(float-eq)";
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn previous_line_suppression() {
+        let src = "// audit:allow(panicking)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // audit:allow(panicking)";
+        assert_eq!(scan_source("a.rs", src, NON_SOLVER).len(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! A lightweight, comment- and string-aware tokenizer for Rust source.
+//!
+//! This is intentionally **not** a full Rust lexer (no `syn` — the workspace
+//! only sanctions `rand`/`proptest`/`criterion`/`serde` as external deps).
+//! It produces just enough structure for the audit rules:
+//!
+//! - identifiers / keywords, with line numbers;
+//! - numeric literals, classified as float-like or integer-like;
+//! - one- and two-character punctuation (`==`, `!=`, `::`, …);
+//! - comments and string/char literals are consumed, never tokenized —
+//!   except that `// audit:allow(<rule>)` markers are extracted so rules can
+//!   honor inline suppressions.
+//!
+//! Raw strings (`r"…"`, `r#"…"#`), nested block comments, char literals
+//! (including `'\''`), and lifetimes (`'a`, which must *not* open a char
+//! literal) are all handled; those are exactly the constructs that break
+//! naive regex-based scanners.
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer-looking literal (`3`, `0x1F`, `10_000`, `7u32`).
+    Int,
+    /// Float-looking literal (`0.0`, `1e-9`, `2.5f64`, `3f32`).
+    Float,
+    /// Punctuation, one or two characters (`==`, `!=`, `::`, `(`, `.`).
+    Punct,
+}
+
+/// An inline suppression marker: `// audit:allow(rule-name)` (also accepted
+/// inside block comments). Applies to findings on the same line or the line
+/// immediately below (so a marker can sit on its own line above the code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: String,
+    pub line: usize,
+}
+
+/// Tokenizer output: the token stream plus any suppression markers found in
+/// comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+}
+
+const ALLOW_MARKER: &str = "audit:allow(";
+
+/// Tokenize Rust source. Never fails: unrecognized bytes are skipped, so the
+/// audit degrades gracefully on exotic code instead of crashing the gate.
+pub fn tokenize(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                scan_allow_marker(&src[start..i], line, &mut out.suppressions);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (end, endline) = skip_block_comment(src, i, line, &mut out.suppressions);
+                i = end;
+                line = endline;
+            }
+            b'"' => {
+                let (end, endline) = skip_string(bytes, i + 1, line);
+                i = end;
+                line = endline;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (end, endline) = skip_raw_string(bytes, i + 1, line);
+                i = end;
+                line = endline;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let (end, endline) = skip_string(bytes, i + 2, line);
+                i = end;
+                line = endline;
+            }
+            b'\'' => {
+                // Distinguish a char literal from a lifetime: a lifetime is
+                // `'ident` NOT followed by a closing quote.
+                if let Some((end, endline)) = try_skip_char_literal(bytes, i, line) {
+                    i = end;
+                    line = endline;
+                } else {
+                    // Lifetime tick: emit nothing, skip the quote.
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let (end, kind) = scan_number(bytes, i);
+                out.tokens.push(Token {
+                    kind,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                // Punctuation: greedily form the two-char operators the rules
+                // care about; everything else is a single char.
+                let two = src.get(i..i + 2).unwrap_or("");
+                let text = if matches!(
+                    two,
+                    "==" | "!=" | "<=" | ">=" | "::" | "->" | "=>" | "&&" | "||" | ".." | "<<" | ">>"
+                ) {
+                    i += 2;
+                    two.to_string()
+                } else {
+                    let ch = src[i..].chars().next().unwrap_or('\u{FFFD}');
+                    i += ch.len_utf8();
+                    ch.to_string()
+                };
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"` or `r#`— only when `r` is not part of a longer identifier.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+}
+
+fn skip_block_comment(
+    src: &str,
+    start: usize,
+    mut line: usize,
+    suppressions: &mut Vec<Suppression>,
+) -> (usize, usize) {
+    let bytes = src.as_bytes();
+    let mut depth = 0usize;
+    let mut i = start;
+    let comment_start = start;
+    let start_line = line;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            i += 1;
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                scan_allow_marker(&src[comment_start..i], start_line, suppressions);
+                return (i, line);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    (i, line)
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, line),
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+fn skip_raw_string(bytes: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // Not actually a raw string (`r#ident` raw identifier); let the main
+        // loop re-scan from here.
+        return (i, line);
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, line);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, line)
+}
+
+fn try_skip_char_literal(bytes: &[u8], i: usize, line: usize) -> Option<(usize, usize)> {
+    // i points at the opening quote.
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        j += 2; // escape + escaped char ('\n', '\'', '\\', '\u{..}' start)
+        if bytes.get(j - 1) == Some(&b'u') && bytes.get(j) == Some(&b'{') {
+            while j < bytes.len() && bytes[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return Some((j + 1, line));
+    }
+    // Unescaped: a char literal closes after exactly one (possibly multibyte)
+    // character. A lifetime has an identifier char NOT followed by a quote.
+    let ch_len = utf8_len(bytes[j]);
+    if bytes.get(j + ch_len) == Some(&b'\'') {
+        Some((j + ch_len + 1, line))
+    } else {
+        None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+fn scan_number(bytes: &[u8], start: usize) -> (usize, TokenKind) {
+    let mut i = start;
+    let mut float = false;
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(&b'x') | Some(&b'o') | Some(&b'b')) {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokenKind::Int);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: a `.` followed by a digit (NOT `..` or a method call).
+    if i < bytes.len()
+        && bytes[i] == b'.'
+        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+    {
+        float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    } else if i < bytes.len()
+        && bytes[i] == b'.'
+        && !matches!(bytes.get(i + 1), Some(b) if b.is_ascii_alphabetic() || *b == b'.' || *b == b'_')
+    {
+        // Trailing-dot float like `1.`
+        float = true;
+        i += 1;
+    }
+    // Exponent.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(&b'+') | Some(&b'-')) {
+            j += 1;
+        }
+        if bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, …).
+    let sfx_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    let suffix = std::str::from_utf8(&bytes[sfx_start..i]).unwrap_or("");
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    (i, if float { TokenKind::Float } else { TokenKind::Int })
+}
+
+fn scan_allow_marker(comment: &str, start_line: usize, out: &mut Vec<Suppression>) {
+    // A block comment can span lines; attribute each marker to the line it
+    // physically sits on.
+    for (off, text) in comment.lines().enumerate() {
+        let mut rest = text;
+        while let Some(pos) = rest.find(ALLOW_MARKER) {
+            let tail = &rest[pos + ALLOW_MARKER.len()..];
+            if let Some(close) = tail.find(')') {
+                let rule = tail[..close].trim().to_string();
+                if !rule.is_empty() {
+                    out.push(Suppression {
+                        rule,
+                        line: start_line + off,
+                    });
+                }
+                rest = &tail[close + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("let x = 0.0; let y = 1e-9; let z = 3f64; let n = 42; let h = 0xFF;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["0.0", "1e-9", "3f64"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["42", "0xFF"]);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokenKind::Int, "0".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokenKind::Int, "10".into())));
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // x == 0.0 in a line comment
+            /* unwrap() in /* a nested */ block */
+            let s = "panic!(\"no\") == 0.0";
+            let r = r#"unwrap() "quoted" == 0.0"#;
+        "##;
+        let lexed = tokenize(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "=="));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "panic"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\\''; let c = 'x'; q.max(c) }";
+        let lexed = tokenize(src);
+        assert!(lexed.tokens.iter().any(|t| t.text == "max"));
+        // The identifier `a` from the lifetime is tokenized; the quote is not
+        // treated as an unterminated char literal (which would swallow code).
+        assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn allow_markers_extracted_with_lines() {
+        let src = "let a = 1;\nx == 0.0; // audit:allow(float-eq)\n/* audit:allow(panicking) */\n";
+        let lexed = tokenize(src);
+        assert_eq!(
+            lexed.suppressions,
+            vec![
+                Suppression { rule: "float-eq".into(), line: 2 },
+                Suppression { rule: "panicking".into(), line: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let s = \"line1\nline2\";\nlet t /* c\nc */ = 5;\nbad();";
+        let lexed = tokenize(src);
+        let bad = lexed.tokens.iter().find(|t| t.text == "bad").unwrap();
+        assert_eq!(bad.line, 5);
+    }
+}

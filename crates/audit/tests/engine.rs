@@ -1,0 +1,115 @@
+//! End-to-end tests of the audit engine against fixture sources with known
+//! violations, exercising rule hits, suppressions, and baseline diffing.
+
+use snbc_audit::baseline;
+use snbc_audit::rules::{scan_source, Finding, Rule, ScanOptions};
+
+const VIOLATIONS: &str = include_str!("fixtures/violations.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+
+const SOLVER_OPTS: ScanOptions = ScanOptions {
+    check_panicking: true,
+};
+
+fn hits(src: &str, opts: ScanOptions) -> Vec<(Rule, usize)> {
+    scan_source("fixture.rs", src, opts)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn violations_fixture_exact_rule_and_line_hits() {
+    let expected = vec![
+        (Rule::FloatEq, 7),
+        (Rule::FloatEq, 11),
+        (Rule::FloatEq, 15),
+        (Rule::LossyCast, 19),
+        (Rule::LossyCast, 19),
+        (Rule::Panicking, 27),
+        (Rule::Panicking, 31),
+        (Rule::Panicking, 35),
+        (Rule::Panicking, 39),
+    ];
+    let mut got = hits(VIOLATIONS, SOLVER_OPTS);
+    got.sort_by_key(|&(r, l)| (l, r));
+    let mut want = expected;
+    want.sort_by_key(|&(r, l)| (l, r));
+    assert_eq!(got, want);
+}
+
+#[test]
+fn panicking_rule_only_applies_to_solver_crates() {
+    let got = hits(VIOLATIONS, ScanOptions::default());
+    assert!(
+        got.iter().all(|&(rule, _)| rule != Rule::Panicking),
+        "panicking findings present with check_panicking=false: {got:?}"
+    );
+    // Float/cast rules still fire.
+    assert!(got.iter().any(|&(rule, _)| rule == Rule::FloatEq));
+    assert!(got.iter().any(|&(rule, _)| rule == Rule::LossyCast));
+}
+
+#[test]
+fn suppressions_silence_only_the_named_rule_nearby() {
+    let got = hits(SUPPRESSED, SOLVER_OPTS);
+    // The two deliberately-ineffective allows leave exactly these findings.
+    assert_eq!(got, vec![(Rule::FloatEq, 17), (Rule::FloatEq, 23)]);
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let got = hits(CLEAN, SOLVER_OPTS);
+    assert!(got.is_empty(), "unexpected findings: {got:?}");
+}
+
+#[test]
+fn baseline_roundtrip_tolerates_existing_debt() {
+    let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
+    assert!(!findings.is_empty());
+    // A baseline generated from the current findings diffs clean.
+    let map = baseline::parse(&baseline::render(&findings)).unwrap();
+    assert!(baseline::diff(&findings, &map).is_clean());
+}
+
+#[test]
+fn baseline_catches_regressions_and_reports_improvements() {
+    let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
+    let map = baseline::parse(&baseline::render(&findings)).unwrap();
+
+    // One extra float-eq beyond the tolerated count is a regression.
+    let mut more = findings.clone();
+    more.push(Finding {
+        rule: Rule::FloatEq,
+        file: "fixture.rs".to_string(),
+        line: 999,
+        message: String::new(),
+    });
+    let d = baseline::diff(&more, &map);
+    assert_eq!(d.regressions.len(), 1);
+    let (rule, ref file, current, tolerated) = d.regressions[0];
+    assert_eq!(rule, Rule::FloatEq);
+    assert_eq!(file, "fixture.rs");
+    assert_eq!(current, tolerated + 1);
+
+    // A finding in a file with no baseline entry is also a regression.
+    let fresh = vec![Finding {
+        rule: Rule::Panicking,
+        file: "other.rs".to_string(),
+        line: 1,
+        message: String::new(),
+    }];
+    assert!(!baseline::diff(&fresh, &map).is_clean());
+
+    // Fixing findings shows up as improvements, never as failures.
+    let fewer: Vec<Finding> = findings
+        .iter()
+        .filter(|f| f.rule != Rule::Panicking)
+        .cloned()
+        .collect();
+    let d = baseline::diff(&fewer, &map);
+    assert!(d.is_clean());
+    assert_eq!(d.improvements.len(), 1);
+    assert_eq!(d.improvements[0].0, Rule::Panicking);
+}

@@ -1,0 +1,27 @@
+//! Audit fixture: zero findings expected.
+
+pub fn tolerant_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn integer_eq(a: i64, b: i64) -> bool {
+    a == b
+}
+
+pub fn widening_casts(x: u32, v: f32) -> (u64, f64) {
+    (u64::from(x), f64::from(v))
+}
+
+pub fn operators_in_strings() -> &'static str {
+    // Tokenizer must not find violations inside strings or comments:
+    // x == 0.5, v.unwrap(), panic!("no"), 1.0 as f32.
+    "x == 0.5 && v.unwrap() && (1.0 as f32)"
+}
+
+pub fn raw_string() -> &'static str {
+    r#"y != 2.5 "nested" .expect("nope")"#
+}
+
+pub fn fallible(v: Option<u64>) -> Result<u64, &'static str> {
+    v.ok_or("empty")
+}

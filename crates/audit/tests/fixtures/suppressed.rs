@@ -1,0 +1,24 @@
+//! Audit fixture: the same violation kinds, all suppressed.
+//!
+//! Suppressions count on the finding's own line or the line directly above.
+
+pub fn all_suppressed(a: f64, v: Option<u64>) -> u64 {
+    // audit:allow(float-eq)
+    let _ = a == 0.5;
+    let _ = a != 1.5; // audit:allow(float-eq)
+    // audit:allow(lossy-cast)
+    let _ = a as f32;
+    // audit:allow(panicking)
+    v.unwrap()
+}
+
+pub fn wrong_rule_does_not_suppress(a: f64) -> bool {
+    // audit:allow(panicking)
+    a == 0.25 // expect: float-eq @ 17 (the allow above names another rule)
+}
+
+pub fn too_far_does_not_suppress(a: f64) -> bool {
+    // audit:allow(float-eq)
+
+    a == 0.75 // expect: float-eq @ 23 (blank line between allow and finding)
+}

@@ -1,0 +1,52 @@
+//! Audit fixture: deliberate violations at known lines.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+pub fn float_eq_hit(a: f64) -> bool {
+    a == 0.5 // expect: float-eq @ 7
+}
+
+pub fn float_ne_hit(a: f64) -> bool {
+    1.0e-3 != a // expect: float-eq @ 11
+}
+
+pub fn negative_literal_hit(a: f64) -> bool {
+    a == -2.5 // expect: float-eq @ 15
+}
+
+pub fn lossy_hits(v: f64, n: i64) -> (f32, i32) {
+    (v as f32, n as i32) // expect: lossy-cast @ 19 (twice)
+}
+
+pub fn widening_is_fine(x: u32, v: f32) -> (u64, f64) {
+    (x as u64, v as f64)
+}
+
+pub fn unwrap_hit(v: Option<u64>) -> u64 {
+    v.unwrap() // expect: panicking @ 27
+}
+
+pub fn expect_hit(v: Option<u64>) -> u64 {
+    v.expect("boom") // expect: panicking @ 31
+}
+
+pub fn panic_hit() {
+    panic!("boom") // expect: panicking @ 35
+}
+
+pub fn unreachable_hit() {
+    unreachable!() // expect: panicking @ 39
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt from every rule.
+    #[test]
+    fn exempt() {
+        let _ = 1.0 == 2.0;
+        let _ = 3.0f64 as f32;
+        Some(1u64).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -205,7 +205,8 @@ impl Tape {
     /// Panics if `e == 0` (record a constant instead).
     pub fn powi(&mut self, a: Var, e: u32) -> Var {
         assert!(e >= 1, "powi exponent must be >= 1");
-        let v = self.value(a).powi(e as i32);
+        // powi exponents are tiny (poly degrees); the cast cannot truncate.
+        let v = self.value(a).powi(e as i32); // audit:allow(lossy-cast)
         self.push(Op::Powi(a, e), v)
     }
 

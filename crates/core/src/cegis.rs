@@ -395,7 +395,8 @@ fn warm_start_lyapunov(
             let mut q = Polynomial::zero();
             for i in 0..n {
                 for j in 0..n {
-                    if p_mat[(i, j)] != 0.0 {
+                    // Sparse skip: exact zero means the entry is absent.
+                    if p_mat[(i, j)] != 0.0 { // audit:allow(float-eq)
                         let m = snbc_poly::Monomial::var(i).mul(&snbc_poly::Monomial::var(j));
                         q.add_term(p_mat[(i, j)], m);
                     }

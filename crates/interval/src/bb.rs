@@ -141,13 +141,16 @@ impl BranchAndBound {
                 }
             }
 
-            // Box too small to split further: δ-undecided.
-            let (widest, width) = bx
+            // Box too small to split further: δ-undecided. A 0-dimensional
+            // box has no axis to split, so it is terminal by definition.
+            let Some((widest, width)) = bx
                 .iter()
                 .enumerate()
                 .map(|(i, iv)| (i, iv.width()))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty box");
+            else {
+                continue;
+            };
             if width < self.delta {
                 let better = suspicious
                     .as_ref()

@@ -83,7 +83,8 @@ impl Interval {
         if e == 0 {
             return Interval::point(1.0);
         }
-        let (pl, ph) = (self.lo.powi(e as i32), self.hi.powi(e as i32));
+        // powi exponents are tiny (poly degrees); the cast cannot truncate.
+        let (pl, ph) = (self.lo.powi(e as i32), self.hi.powi(e as i32)); // audit:allow(lossy-cast)
         if e % 2 == 1 || self.lo >= 0.0 {
             // Monotone on the whole interval (odd power, or nonnegative base).
             Interval::new(pl, ph)

@@ -58,6 +58,11 @@ impl Cholesky {
                 l[(i, j)] = s / dj;
             }
         }
+        crate::sanitize::check_finite("Cholesky::new", l.as_slice());
+        crate::sanitize::check_positive(
+            "Cholesky::new (pivots)",
+            &(0..n).map(|i| l[(i, i)]).collect::<Vec<_>>(),
+        );
         Ok(Cholesky { l })
     }
 
@@ -213,6 +218,8 @@ impl Ldlt {
                 l[(i, j)] = s / dj;
             }
         }
+        crate::sanitize::check_finite("Ldlt::new", l.as_slice());
+        crate::sanitize::check_finite("Ldlt::new (pivots)", &d);
         Ok(Ldlt { l, d })
     }
 

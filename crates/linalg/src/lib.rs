@@ -32,6 +32,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod sanitize;
 pub mod vec_ops;
 
 pub use cholesky::{Cholesky, Ldlt};

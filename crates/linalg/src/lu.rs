@@ -78,6 +78,7 @@ impl Lu {
                 }
             }
         }
+        crate::sanitize::check_finite("Lu::new", lu.as_slice());
         Ok(Lu { lu, perm, sign })
     }
 

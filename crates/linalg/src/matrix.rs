@@ -204,7 +204,8 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                // Sparse-coefficient skip; exactness is intended.
+                if aik == 0.0 { // audit:allow(float-eq)
                     continue;
                 }
                 let brow = other.row(k);

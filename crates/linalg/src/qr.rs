@@ -91,7 +91,8 @@ impl Qr {
         let mut y = b.to_vec();
         for k in 0..n {
             let beta = self.betas[k];
-            if beta == 0.0 {
+            // β = 0.0 is an exact sentinel set during factorization.
+            if beta == 0.0 { // audit:allow(float-eq)
                 continue;
             }
             // v = (1, qr[k+1..m, k])

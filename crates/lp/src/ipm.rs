@@ -119,6 +119,12 @@ pub fn solve_standard(a: &Matrix, b: &[f64], c: &[f64], opts: &LpOptions) -> Res
             .map(|((ci, ayi), si)| ci - ayi - si)
             .collect();
         let mu = vec_ops::dot(&x, &s) / n as f64;
+        // Interior-point invariants: x, s stay strictly positive (so μ, their
+        // scaled inner product, is non-negative) and every iterate is finite.
+        snbc_linalg::sanitize::check_invariant("lp::ipm duality measure", mu >= 0.0, mu);
+        snbc_linalg::sanitize::check_positive("lp::ipm primal iterate x", &x);
+        snbc_linalg::sanitize::check_positive("lp::ipm dual slack s", &s);
+        snbc_linalg::sanitize::check_finite("lp::ipm dual iterate y", &y);
 
         let rp_rel = vec_ops::norm2(&rp) / bnorm;
         let rd_rel = vec_ops::norm2(&rd) / cnorm;
@@ -166,13 +172,14 @@ pub fn solve_standard(a: &Matrix, b: &[f64], c: &[f64], opts: &LpOptions) -> Res
         let mut mm = Matrix::zeros(m, m);
         for k in 0..n {
             let dk = d[k];
-            if dk == 0.0 {
+            // Sparse-coefficient skip; exactness is intended.
+            if dk == 0.0 { // audit:allow(float-eq)
                 continue;
             }
             let col = a.col(k);
             for i in 0..m {
                 let v = dk * col[i];
-                if v == 0.0 {
+                if v == 0.0 { // audit:allow(float-eq)
                     continue;
                 }
                 for j in i..m {

@@ -159,7 +159,9 @@ fn pivot(tab: &mut Matrix, rhs: &mut [f64], basis: &mut [usize], row: usize, col
             continue;
         }
         let f = tab[(i, col)];
-        if f == 0.0 {
+        // Exact zero needs no elimination; a tolerance here would corrupt
+        // the tableau.
+        if f == 0.0 { // audit:allow(float-eq)
             continue;
         }
         for j in 0..ncols {

@@ -421,19 +421,20 @@ impl QuadraticNet {
             for i in 0..n {
                 let p1 = params[w1 + o * n + i];
                 let p2 = params[w2 + o * n + i];
-                if x[i] != 0.0 {
+                // Sparse tape construction: skip exactly-zero inputs.
+                if x[i] != 0.0 { // audit:allow(float-eq)
                     let t1 = tape.scale(p1, x[i]);
                     a1 = tape.add(a1, t1);
                     let t2 = tape.scale(p2, x[i]);
                     a2 = tape.add(a2, t2);
                 }
-                if field_lo[i] != 0.0 {
+                if field_lo[i] != 0.0 { // audit:allow(float-eq)
                     let s1 = tape.scale(p1, field_lo[i]);
                     g1_lo = tape.add(g1_lo, s1);
                     let s2 = tape.scale(p2, field_lo[i]);
                     g2_lo = tape.add(g2_lo, s2);
                 }
-                if !same && field_hi[i] != 0.0 {
+                if !same && field_hi[i] != 0.0 { // audit:allow(float-eq)
                     let s1 = tape.scale(p1, field_hi[i]);
                     g1_hi = tape.add(g1_hi, s1);
                     let s2 = tape.scale(p2, field_hi[i]);

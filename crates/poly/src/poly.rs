@@ -42,7 +42,7 @@ impl Polynomial {
     /// The constant polynomial `c` (zero if `c == 0`).
     pub fn constant(c: f64) -> Self {
         let mut p = Polynomial::zero();
-        if c != 0.0 {
+        if c.abs() > COEFF_EPS {
             p.terms.insert(Monomial::one(), c);
         }
         p
@@ -58,7 +58,7 @@ impl Polynomial {
     /// A single term `c·x^α`.
     pub fn term(c: f64, m: Monomial) -> Self {
         let mut p = Polynomial::zero();
-        if c != 0.0 {
+        if c.abs() > COEFF_EPS {
             p.terms.insert(m, c);
         }
         p
@@ -74,7 +74,7 @@ impl Polynomial {
         assert_eq!(coeffs.len(), basis.len(), "coeff/basis length mismatch");
         let mut p = Polynomial::zero();
         for (&c, m) in coeffs.iter().zip(basis) {
-            if c != 0.0 {
+            if c.abs() > COEFF_EPS {
                 *p.terms.entry(m.clone()).or_insert(0.0) += c;
             }
         }
@@ -143,18 +143,18 @@ impl Polynomial {
 
     /// Adds `c·x^α` in place.
     pub fn add_term(&mut self, c: f64, m: Monomial) {
-        if c == 0.0 {
+        if c.abs() <= COEFF_EPS {
             return;
         }
         let entry = self.terms.entry(m.clone()).or_insert(0.0);
         *entry += c;
-        if entry.abs() <= COEFF_EPS || *entry == 0.0 {
+        if entry.abs() <= COEFF_EPS {
             self.terms.remove(&m);
         }
     }
 
     fn normalize(&mut self) {
-        self.terms.retain(|_, c| *c != 0.0 && c.abs() > COEFF_EPS);
+        self.terms.retain(|_, c| c.abs() > COEFF_EPS);
     }
 
     /// Evaluates at a point.
@@ -194,7 +194,8 @@ impl Polynomial {
 
     /// Multiplies by a scalar, returning a new polynomial.
     pub fn scale(&self, s: f64) -> Polynomial {
-        if s == 0.0 {
+        // Exact zero short-circuit; any other scalar keeps every term.
+        if s == 0.0 { // audit:allow(float-eq)
             return Polynomial::zero();
         }
         let mut out = self.clone();

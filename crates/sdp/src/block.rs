@@ -1,3 +1,4 @@
+use crate::error::SdpError;
 use snbc_linalg::{LinalgError, Matrix};
 
 /// Shape of one variable block in a block-diagonal SDP.
@@ -55,40 +56,41 @@ impl Block {
 
     /// Frobenius inner product with another block of the same shape.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on shape mismatch.
-    pub fn dot(&self, other: &Block) -> f64 {
+    /// Returns [`SdpError::BlockMismatch`] on shape mismatch.
+    pub fn dot(&self, other: &Block) -> Result<f64, SdpError> {
         match (self, other) {
-            (Block::Dense(a), Block::Dense(b)) => a.dot(b),
-            (Block::Diag(a), Block::Diag(b)) => {
-                assert_eq!(a.len(), b.len(), "diag block length mismatch");
-                a.iter().zip(b).map(|(x, y)| x * y).sum()
+            (Block::Dense(a), Block::Dense(b)) => Ok(a.dot(b)),
+            (Block::Diag(a), Block::Diag(b)) if a.len() == b.len() => {
+                Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
             }
-            _ => panic!("block kind mismatch in dot"),
+            _ => Err(SdpError::BlockMismatch { op: "dot" }),
         }
     }
 
     /// `self + α·other`, in place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on shape mismatch.
-    pub fn axpy(&mut self, alpha: f64, other: &Block) {
+    /// Returns [`SdpError::BlockMismatch`] on shape mismatch (the block is
+    /// left untouched).
+    pub fn axpy(&mut self, alpha: f64, other: &Block) -> Result<(), SdpError> {
         match (self, other) {
-            (Block::Dense(a), Block::Dense(b)) => {
+            (Block::Dense(a), Block::Dense(b)) if a.nrows() == b.nrows() => {
                 let bs = b.as_slice();
                 for (x, y) in a.as_mut_slice().iter_mut().zip(bs) {
                     *x += alpha * y;
                 }
+                Ok(())
             }
-            (Block::Diag(a), Block::Diag(b)) => {
-                assert_eq!(a.len(), b.len(), "diag block length mismatch");
+            (Block::Diag(a), Block::Diag(b)) if a.len() == b.len() => {
                 for (x, y) in a.iter_mut().zip(b) {
                     *x += alpha * y;
                 }
+                Ok(())
             }
-            _ => panic!("block kind mismatch in axpy"),
+            _ => Err(SdpError::BlockMismatch { op: "axpy" }),
         }
     }
 
@@ -138,25 +140,25 @@ impl Block {
 
     /// Borrows the dense matrix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is diagonal.
-    pub fn as_dense(&self) -> &Matrix {
+    /// Returns [`SdpError::BlockMismatch`] if the block is diagonal.
+    pub fn as_dense(&self) -> Result<&Matrix, SdpError> {
         match self {
-            Block::Dense(a) => a,
-            Block::Diag(_) => panic!("expected dense block"),
+            Block::Dense(a) => Ok(a),
+            Block::Diag(_) => Err(SdpError::BlockMismatch { op: "as_dense" }),
         }
     }
 
     /// Borrows the diagonal.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is dense.
-    pub fn as_diag(&self) -> &[f64] {
+    /// Returns [`SdpError::BlockMismatch`] if the block is dense.
+    pub fn as_diag(&self) -> Result<&[f64], SdpError> {
         match self {
-            Block::Diag(a) => a,
-            Block::Dense(_) => panic!("expected diagonal block"),
+            Block::Diag(a) => Ok(a),
+            Block::Dense(_) => Err(SdpError::BlockMismatch { op: "as_diag" }),
         }
     }
 }
@@ -230,28 +232,34 @@ impl BlockMatrix {
 
     /// Frobenius inner product.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on shape mismatch.
-    pub fn dot(&self, other: &BlockMatrix) -> f64 {
-        assert_eq!(self.blocks.len(), other.blocks.len(), "block count mismatch");
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| a.dot(b))
-            .sum()
+    /// Returns [`SdpError::BlockMismatch`] on shape mismatch.
+    pub fn dot(&self, other: &BlockMatrix) -> Result<f64, SdpError> {
+        if self.blocks.len() != other.blocks.len() {
+            return Err(SdpError::BlockMismatch { op: "dot" });
+        }
+        let mut sum = 0.0;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            sum += a.dot(b)?;
+        }
+        Ok(sum)
     }
 
     /// `self += α·other`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on shape mismatch.
-    pub fn axpy(&mut self, alpha: f64, other: &BlockMatrix) {
-        assert_eq!(self.blocks.len(), other.blocks.len(), "block count mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            a.axpy(alpha, b);
+    /// Returns [`SdpError::BlockMismatch`] on shape mismatch; blocks before
+    /// the mismatching one will already have been updated.
+    pub fn axpy(&mut self, alpha: f64, other: &BlockMatrix) -> Result<(), SdpError> {
+        if self.blocks.len() != other.blocks.len() {
+            return Err(SdpError::BlockMismatch { op: "axpy" });
         }
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            a.axpy(alpha, b)?;
+        }
+        Ok(())
     }
 
     /// Scales all blocks in place.
@@ -310,8 +318,8 @@ mod tests {
         let shapes = [BlockShape::Dense(2), BlockShape::Diag(2)];
         let mut a = BlockMatrix::identity(&shapes);
         let b = BlockMatrix::identity(&shapes);
-        assert_eq!(a.dot(&b), 4.0);
-        a.axpy(2.0, &b);
+        assert_eq!(a.dot(&b).unwrap(), 4.0);
+        a.axpy(2.0, &b).unwrap();
         assert_eq!(a.trace(), 12.0);
         a.scale_mut(0.5);
         assert_eq!(a.trace(), 6.0);
@@ -327,10 +335,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block kind mismatch")]
-    fn mismatched_kinds_panic() {
+    fn mismatched_kinds_error() {
         let a = Block::identity(BlockShape::Dense(2));
         let b = Block::identity(BlockShape::Diag(2));
-        let _ = a.dot(&b);
+        assert_eq!(a.dot(&b), Err(SdpError::BlockMismatch { op: "dot" }));
+        let mut a2 = a.clone();
+        assert_eq!(
+            a2.axpy(1.0, &b),
+            Err(SdpError::BlockMismatch { op: "axpy" })
+        );
+        assert!(a.as_diag().is_err());
+        assert!(b.as_dense().is_err());
+        // BlockMatrix level: count mismatch is also an error, not a panic.
+        let x = BlockMatrix::identity(&[BlockShape::Dense(2)]);
+        let y = BlockMatrix::identity(&[BlockShape::Dense(2), BlockShape::Diag(1)]);
+        assert!(x.dot(&y).is_err());
     }
 }

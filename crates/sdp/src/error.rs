@@ -16,6 +16,13 @@ pub enum SdpError {
     Unbounded,
     /// A linear-algebra failure (e.g. Schur complement not factorizable).
     Numerical(LinalgError),
+    /// Two blocks of incompatible kinds (dense vs diagonal) met in a
+    /// block-wise operation — the block structure of the iterates diverged
+    /// from the problem's shapes.
+    BlockMismatch {
+        /// The operation that detected the mismatch (`"dot"`, `"axpy"`, …).
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for SdpError {
@@ -29,6 +36,9 @@ impl fmt::Display for SdpError {
             SdpError::Infeasible => write!(f, "problem is primal infeasible"),
             SdpError::Unbounded => write!(f, "problem is unbounded"),
             SdpError::Numerical(e) => write!(f, "numerical failure: {e}"),
+            SdpError::BlockMismatch { op } => {
+                write!(f, "block kind mismatch (dense vs diagonal) in `{op}`")
+            }
         }
     }
 }

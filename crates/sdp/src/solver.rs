@@ -155,10 +155,18 @@ impl SdpSolver {
             // Rd = C − Aᵀy − Z.
             let mut rd = c_mat.clone();
             problem.adjoint_accumulate(&y, -1.0, &mut rd);
-            rd.axpy(-1.0, &z);
+            rd.axpy(-1.0, &z)?;
 
-            let xz = x.dot(&z);
+            let xz = x.dot(&z)?;
             let mu = xz / big_n;
+            // Interior-point invariants: X and Z stay in the PSD cone interior
+            // so ⟨X,Z⟩ ≥ 0, and every iterate stays finite (a NaN/∞ entry
+            // makes the Frobenius norm non-finite).
+            snbc_linalg::sanitize::check_invariant("sdp duality measure", xz >= 0.0, xz);
+            snbc_linalg::sanitize::check_finite(
+                "sdp iterates (‖X‖, ‖Z‖, ‖y‖)",
+                &[x.norm_fro(), z.norm_fro(), vec_ops::norm2(&y)],
+            );
             let pobj = problem.cost_dot(&x);
             let dobj = vec_ops::dot(&b, &y);
             let rp_rel = vec_ops::norm2(&rp) / bnorm;
@@ -228,10 +236,10 @@ impl SdpSolver {
             let alpha_d_aff = self.max_step(&z, &dz_aff, &scalings, false)?;
             // μ after the affine step.
             let mut x_aff = x.clone();
-            x_aff.axpy(alpha_p_aff.min(1.0), &dx_aff);
+            x_aff.axpy(alpha_p_aff.min(1.0), &dx_aff)?;
             let mut z_aff = z.clone();
-            z_aff.axpy(alpha_d_aff.min(1.0), &dz_aff);
-            let mu_aff = x_aff.dot(&z_aff) / big_n;
+            z_aff.axpy(alpha_d_aff.min(1.0), &dz_aff)?;
+            let mu_aff = x_aff.dot(&z_aff)? / big_n;
             let sigma = if mu > 0.0 {
                 (mu_aff / mu).powi(3).clamp(1e-6, 1.0)
             } else {
@@ -253,16 +261,16 @@ impl SdpSolver {
             let alpha_p = (self.step_fraction * self.max_step(&x, &dx, &scalings, true)?).min(1.0);
             let alpha_d = (self.step_fraction * self.max_step(&z, &dz, &scalings, false)?).min(1.0);
 
-            x.axpy(alpha_p, &dx);
+            x.axpy(alpha_p, &dx)?;
             vec_ops::axpy(alpha_d, &dy, &mut y);
-            z.axpy(alpha_d, &dz);
+            z.axpy(alpha_d, &dz)?;
         }
 
         if let Some((merit, bx, by, bz, iter)) = best {
             if merit < 2e-3 {
                 let pobj = problem.cost_dot(&bx);
                 let dobj = vec_ops::dot(&b, &by);
-                let mu = bx.dot(&bz) / big_n;
+                let mu = bx.dot(&bz)? / big_n;
                 return Ok(SdpSolution {
                     primal_objective: pobj,
                     dual_objective: dobj,
@@ -281,7 +289,7 @@ impl SdpSolver {
                 });
             }
         }
-        let mu = x.dot(&z) / big_n;
+        let mu = x.dot(&z)? / big_n;
         Err(SdpError::IterationLimit {
             iterations: self.max_iterations,
             mu,
@@ -319,7 +327,7 @@ impl SdpSolver {
                     x: xd.clone(),
                     z: zd.clone(),
                 }),
-                _ => unreachable!("block kinds fixed by shapes"),
+                _ => return Err(SdpError::BlockMismatch { op: "factor_blocks" }),
             }
         }
         Ok(out)
@@ -445,14 +453,17 @@ impl SdpSolver {
                 Scaling::Dense { zinv, .. } => {
                     let n = zinv.nrows();
                     let mut blk = zinv.scale(nu);
-                    let xj = x.block(j).as_dense();
+                    let xj = x.block(j).as_dense()?;
                     for i in 0..n {
                         for c in 0..n {
                             blk[(i, c)] -= xj[(i, c)];
                         }
                     }
                     if let Some((dz_aff, dx_aff)) = correction {
-                        let prod = dz_aff.block(j).as_dense().matmul(dx_aff.block(j).as_dense());
+                        let prod = dz_aff
+                            .block(j)
+                            .as_dense()?
+                            .matmul(dx_aff.block(j).as_dense()?);
                         let corr = zinv.matmul(&prod);
                         for i in 0..n {
                             for c in 0..n {
@@ -473,8 +484,8 @@ impl SdpSolver {
                         .map(|(xi, zi)| nu / zi - xi)
                         .collect();
                     if let Some((dz_aff, dx_aff)) = correction {
-                        let dzd = dz_aff.block(j).as_diag();
-                        let dxd = dx_aff.block(j).as_diag();
+                        let dzd = dz_aff.block(j).as_diag()?;
+                        let dxd = dx_aff.block(j).as_diag()?;
                         for (i, b) in blk.iter_mut().enumerate() {
                             *b -= dzd[i] * dxd[i] / zd[i];
                         }
@@ -489,7 +500,7 @@ impl SdpSolver {
         for (j, scaling) in scalings.iter().enumerate() {
             match scaling {
                 Scaling::Dense { zinv, x: xj, .. } => {
-                    let mut prod = zinv.matmul(rd.block(j).as_dense()).matmul(xj);
+                    let mut prod = zinv.matmul(rd.block(j).as_dense()?).matmul(xj);
                     // Z⁻¹·Rd·X is not symmetric; ⟨A, M⟩ = ⟨A, sym(M)⟩ for the
                     // symmetric constraint matrices, so symmetrize before the
                     // sparse dot products.
@@ -497,7 +508,7 @@ impl SdpSolver {
                     *zrdx.block_mut(j) = Block::Dense(prod);
                 }
                 Scaling::Diag { x: xd, z: zd } => {
-                    let rdd = rd.block(j).as_diag();
+                    let rdd = rd.block(j).as_diag()?;
                     let blk: Vec<f64> = (0..xd.len()).map(|i| rdd[i] * xd[i] / zd[i]).collect();
                     *zrdx.block_mut(j) = Block::Diag(blk);
                 }
@@ -520,7 +531,7 @@ impl SdpSolver {
         for (j, scaling) in scalings.iter().enumerate() {
             match scaling {
                 Scaling::Dense { zinv, x: xj, .. } => {
-                    let prod = zinv.matmul(dz.block(j).as_dense()).matmul(xj);
+                    let prod = zinv.matmul(dz.block(j).as_dense()?).matmul(xj);
                     let blk = dx.block_mut(j);
                     if let Block::Dense(d) = blk {
                         for i in 0..d.nrows() {
@@ -532,7 +543,7 @@ impl SdpSolver {
                     }
                 }
                 Scaling::Diag { x: xd, z: zd } => {
-                    let dzd: Vec<f64> = dz.block(j).as_diag().to_vec();
+                    let dzd: Vec<f64> = dz.block(j).as_diag()?.to_vec();
                     if let Block::Diag(d) = dx.block_mut(j) {
                         for i in 0..d.len() {
                             d[i] -= dzd[i] * xd[i] / zd[i];
@@ -565,7 +576,9 @@ impl SdpSolver {
                                 z_chol
                             }
                         }
-                        Scaling::Diag { .. } => unreachable!("shape mismatch"),
+                        Scaling::Diag { .. } => {
+                            return Err(SdpError::BlockMismatch { op: "max_step" })
+                        }
                     };
                     let n = dm.nrows();
                     // T = L⁻¹·dV (solve per column of dV on the left).
@@ -601,7 +614,7 @@ impl SdpSolver {
                         }
                     }
                 }
-                _ => unreachable!("block kinds fixed by shapes"),
+                _ => return Err(SdpError::BlockMismatch { op: "max_step" }),
             }
         }
         Ok(alpha)
@@ -656,7 +669,7 @@ mod tests {
         p.set_coefficient(k, 0, 1, 1, 1.0);
         let sol = default_solver().solve(&p).unwrap();
         assert!((sol.primal_objective - 1.0).abs() < 1e-5);
-        assert!((sol.x.block(0).as_diag()[0] - 1.0).abs() < 1e-4);
+        assert!((sol.x.block(0).as_diag().unwrap()[0] - 1.0).abs() < 1e-4);
     }
 
     #[test]

@@ -265,7 +265,8 @@ impl SosProgram {
         }
 
         let sol = solver.solve(&sdp)?;
-        let t = sol.x.block(margin_block).as_diag()[0] - sol.x.block(margin_block).as_diag()[1];
+        let margin_diag = sol.x.block(margin_block).as_diag()?;
+        let t = margin_diag[0] - margin_diag[1];
 
         // Extract the unknowns (shifting Gram diagonals by t).
         let mut polys = Vec::with_capacity(self.unknowns.len());
@@ -273,7 +274,7 @@ impl SosProgram {
         for (i, u) in self.unknowns.iter().enumerate() {
             match u {
                 UnknownKind::Sos { basis } => {
-                    let h = sol.x.block(sos_block[i]).as_dense().clone();
+                    let h = sol.x.block(sos_block[i]).as_dense()?.clone();
                     let mut g = h;
                     for a in 0..g.nrows() {
                         g[(a, a)] += t;
@@ -288,7 +289,7 @@ impl SosProgram {
                     grams.push(Some((basis.clone(), g)));
                 }
                 UnknownKind::Free { basis } => {
-                    let d = sol.x.block(free_block).as_diag();
+                    let d = sol.x.block(free_block).as_diag()?;
                     let off = free_offset[i];
                     let mut p = Polynomial::zero();
                     for (ci, cm) in basis.iter().enumerate() {

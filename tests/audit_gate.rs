@@ -1,0 +1,93 @@
+//! Integration test of the `snbc-audit` binary as a gate: the committed tree
+//! plus `audit-baseline.txt` must pass, and a seeded violation must fail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run the audit binary via `cargo run` (builds it if needed).
+fn run_audit(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args(["run", "-q", "-p", "snbc-audit", "--"])
+        .args(extra)
+        .output()
+        .expect("failed to spawn cargo run -p snbc-audit")
+}
+
+#[test]
+fn committed_tree_passes_the_gate() {
+    let out = run_audit(&[]);
+    assert!(
+        out.status.success(),
+        "audit gate failed on the committed tree.\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no regressions"),
+        "unexpected output: {stdout}"
+    );
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    // Build a minimal fake workspace with one solver crate containing one
+    // exact float comparison and one unwrap, and no baseline.
+    let root = std::env::temp_dir().join(format!("snbc-audit-seeded-{}", std::process::id()));
+    let src_dir = root.join("crates/lp/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    fs::write(
+        root.join("crates/lp/Cargo.toml"),
+        "[package]\nname = \"snbc-lp\"\n\n[dependencies]\nsnbc-linalg.workspace = true\n",
+    )
+    .unwrap();
+    fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn seeded(a: f64, v: Option<u64>) -> u64 {\n    if a == 0.5 { v.unwrap() } else { 0 }\n}\n",
+    )
+    .unwrap();
+
+    let out = run_audit(&["--root", root.to_str().unwrap(), "--list"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    fs::remove_dir_all(&root).ok();
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1 on seeded violations.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stderr.contains("REGRESSIONS"), "stderr: {stderr}");
+    assert!(stdout.contains("float-eq"), "stdout: {stdout}");
+    assert!(stdout.contains("panicking"), "stdout: {stdout}");
+}
+
+#[test]
+fn baseline_file_is_committed_and_parseable() {
+    let path = workspace_root().join("audit-baseline.txt");
+    assert!(
+        Path::new(&path).is_file(),
+        "audit-baseline.txt must be committed at the workspace root"
+    );
+    let text = fs::read_to_string(&path).unwrap();
+    // Every non-comment line must have the `<rule> <file> <count>` shape the
+    // parser accepts (the binary asserts this too; here it guards the file
+    // against hand edits breaking CI far from the edit).
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        assert_eq!(fields.len(), 3, "malformed baseline line: {line}");
+        fields[2]
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad count in baseline line: {line}"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline, dependency-free stand-in for the subset of `criterion` that the
+//! SNBC bench harness uses. It keeps benches compiling and runnable without
+//! the real statistics engine: each benchmark runs a small warm-up plus a
+//! fixed number of timed iterations and prints mean / min wall-clock times.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mirrors `criterion::Criterion` (builder methods only).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.measurement_time,
+            max_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+/// Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One warm-up iteration, then timed samples until the sample quota or
+        // the time budget is exhausted (whichever comes first).
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.max_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        samples.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

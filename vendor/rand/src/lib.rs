@@ -1,0 +1,183 @@
+//! Offline, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! that the SNBC workspace uses: `Rng::gen_range` over float/integer ranges,
+//! `SeedableRng::seed_from_u64`, and `rngs::StdRng`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically good enough for sampling counterexample candidates
+//! and test inputs. It is NOT cryptographically secure, which matches how the
+//! workspace uses randomness (it never needs security).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core trait: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // Scale by 2^-53 over an inclusive lattice; endpoint hit is possible.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize, isize);
+
+/// Uniform value in `[0, span)` by rejection sampling (span > 0).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let zone = u128::MAX - (u128::MAX % span);
+    loop {
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, the stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors; guarantees a non-zero state.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..1.5);
+            assert!((-2.5..1.5).contains(&x));
+            let y = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-2i32..=2);
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
