@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # CI entry point: audit gate first (cheapest, catches policy regressions
-# before a long build), then release build, then tests. Fail-fast.
+# before a long build), then the rustdoc gate, then release build, then
+# tests. Fail-fast.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> snbc-audit (static analysis gate)"
 cargo run -q -p snbc-audit
+
+echo "==> cargo doc (rustdoc gate, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> cargo test --doc (workspace doc-tests)"
+cargo test -q --workspace --doc
 
 echo "==> cargo build --release"
 cargo build --release
@@ -13,7 +20,8 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "==> cargo test -q --features sanitize (solver crates)"
+echo "==> cargo test -q --features sanitize (solver + SOS crates)"
 cargo test -q -p snbc-linalg -p snbc-lp -p snbc-sdp --features snbc-linalg/sanitize
+cargo test -q -p snbc-sos --features sanitize
 
 echo "CI OK"

@@ -3,8 +3,9 @@
 //! (`rand`, `proptest`, `criterion`, `serde`) may appear.
 //!
 //! The DAG encoded here is the one DESIGN.md §"Workspace inventory" draws
-//! (bottom-up): `linalg` → {`lp`, `sdp`} → `sos`; `poly` → {`sos`,
-//! `interval`, `nn`, `dynamics`}; `autodiff` → `nn`;
+//! (bottom-up): `telemetry` is a leaf usable from any layer; `linalg` →
+//! {`lp`, `sdp`} → `sos`; `poly` → {`sos`, `interval`, `nn`, `dynamics`};
+//! `autodiff` → `nn`;
 //! {`sos`,`interval`,`nn`,`dynamics`} → `core` → `baselines` → `bench`.
 //! A crate may depend on any crate strictly below it in that layering; the
 //! table lists the full transitive allowance per crate so the check is a
@@ -18,7 +19,7 @@ pub const SANCTIONED_EXTERNAL: &[&str] = &["rand", "proptest", "criterion", "ser
 /// Allowed *internal* dependencies per crate directory name.
 pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const FOUNDATION: &[&str] = &[];
-    const SOLVER_CORE: &[&str] = &["snbc-linalg"];
+    const SOLVER_CORE: &[&str] = &["snbc-linalg", "snbc-telemetry"];
     const SOS: &[&str] = &["snbc-linalg", "snbc-poly", "snbc-lp", "snbc-sdp"];
     const INTERVAL: &[&str] = &["snbc-linalg", "snbc-poly"];
     const NN: &[&str] = &[
@@ -29,6 +30,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
     const DYNAMICS: &[&str] = &["snbc-linalg", "snbc-poly"];
     const CORE: &[&str] = &[
+        "snbc-telemetry",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -40,6 +42,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-dynamics",
     ];
     const BASELINES: &[&str] = &[
+        "snbc-telemetry",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -52,6 +55,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc",
     ];
     const BENCH: &[&str] = &[
+        "snbc-telemetry",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -65,6 +69,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-baselines",
     ];
     const CLI: &[&str] = &[
+        "snbc-telemetry",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -79,7 +84,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
 
     Some(match crate_dir {
-        "linalg" | "poly" | "autodiff" | "audit" => FOUNDATION,
+        "linalg" | "poly" | "autodiff" | "audit" | "telemetry" => FOUNDATION,
         "lp" | "sdp" => SOLVER_CORE,
         "sos" => SOS,
         "interval" => INTERVAL,

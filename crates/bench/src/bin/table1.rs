@@ -4,8 +4,12 @@
 //! ```text
 //! cargo run -p snbc-bench --release --bin table1 -- \
 //!     [--benchmarks 1,2,3] [--tools snbc,fossil,nnc,sostools] \
-//!     [--timeout 7200] [--csv bench-out/table1.csv]
+//!     [--timeout 7200] [--csv bench-out/table1.csv] [--report bench-out]
 //! ```
+//!
+//! With `--report <dir>`, each SNBC run additionally writes its full
+//! `snbc-run-report/1` telemetry document (see `docs/TELEMETRY.md`) to
+//! `<dir>/BENCH_<name>.json` and prints the per-round table to stderr.
 //!
 //! Absolute numbers differ from the paper (different hardware, from-scratch
 //! solvers); the claims under reproduction are the *shape*: SNBC solves all
@@ -16,8 +20,9 @@
 use std::io::Write as _;
 use std::time::Duration;
 
-use snbc_bench::{pretrain_controller, row_cells, run_tool, summarize, Tool};
+use snbc_bench::{pretrain_controller, row_cells, run_tool_recorded, summarize, Tool};
 use snbc_dynamics::benchmarks;
+use snbc_telemetry::Telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +30,7 @@ fn main() {
     let mut tools: Vec<Tool> = Tool::all().to_vec();
     let mut timeout = Duration::from_secs(7200);
     let mut csv_path = Some("bench-out/table1.csv".to_string());
+    let mut report_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -48,6 +54,9 @@ fn main() {
                 csv_path = Some(it.next().expect("--csv needs a path").clone());
             }
             "--no-csv" => csv_path = None,
+            "--report" => {
+                report_dir = Some(it.next().expect("--report needs a directory").clone());
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -91,7 +100,19 @@ fn main() {
         );
         let mut csv = format!("{},{},{}", bench.name, bench.system.nvars(), bench.d_f);
         for &tool in &tools {
-            let r = run_tool(tool, &bench, &controller, timeout);
+            // Only SNBC runs are instrumented; baselines get a no-op sink.
+            let telemetry = match (tool, &report_dir) {
+                (Tool::Snbc, Some(_)) => Telemetry::recording(),
+                _ => Telemetry::off(),
+            };
+            let r = run_tool_recorded(tool, &bench, &controller, timeout, telemetry.clone());
+            if let (Some(dir), Some(rep)) = (&report_dir, telemetry.report()) {
+                std::fs::create_dir_all(dir).expect("create report dir");
+                let path = format!("{dir}/BENCH_{}.json", bench.name);
+                std::fs::write(&path, rep.to_json_string()).expect("write run report");
+                eprintln!("[table1]   run report -> {path}");
+                eprint!("{}", snbc_telemetry::render_round_table(&rep));
+            }
             eprintln!(
                 "[table1]   {} -> {}",
                 tool.name(),

@@ -98,10 +98,24 @@ pub fn snbc_config_for(bench: &Benchmark, time_limit: Duration) -> SnbcConfig {
 /// Runs one tool on one benchmark with a shared wall-clock budget, returning
 /// the uniform report.
 pub fn run_tool(tool: Tool, bench: &Benchmark, controller: &Mlp, time_limit: Duration) -> SynthesisReport {
+    run_tool_recorded(tool, bench, controller, time_limit, snbc_telemetry::Telemetry::off())
+}
+
+/// Same as [`run_tool`], but attaches a telemetry sink to the SNBC run so the
+/// caller can extract the `snbc-run-report` span tree afterwards (used by the
+/// `table1` binary's `--report` option). The baseline tools are not
+/// instrumented; the sink is ignored for them.
+pub fn run_tool_recorded(
+    tool: Tool,
+    bench: &Benchmark,
+    controller: &Mlp,
+    time_limit: Duration,
+    telemetry: snbc_telemetry::Telemetry,
+) -> SynthesisReport {
     match tool {
         Tool::Snbc => {
             let cfg = snbc_config_for(bench, time_limit);
-            match Snbc::new(cfg).synthesize(bench, controller) {
+            match Snbc::new(cfg).with_telemetry(telemetry).synthesize(bench, controller) {
                 Ok(r) => SynthesisReport {
                     tool: "SNBC",
                     benchmark: bench.name.to_string(),

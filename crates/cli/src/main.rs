@@ -1,11 +1,16 @@
 //! The `snbc` command-line tool.
 //!
 //! ```text
-//! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>]
+//! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>] [--report <json-file>]
 //! snbc check <system-file> <certificate-file> [--deep]
 //! snbc falsify <system-file>
 //! snbc example
 //! ```
+//!
+//! `synth` always prints a per-round CEGIS telemetry table (learner epochs,
+//! final loss, LMI margins, counterexample count/radius, phase timings);
+//! `--report` additionally writes the full `snbc-run-report/1` JSON document
+//! described in `docs/TELEMETRY.md`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -34,10 +39,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("synth") => {
             let path = it.next().ok_or("synth needs a system file")?;
             let mut out = None;
+            let mut report = None;
             let mut timeout = 600u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    "--report" => {
+                        report = Some(it.next().ok_or("--report needs a path")?.clone())
+                    }
                     "--timeout" => {
                         timeout = it
                             .next()
@@ -48,7 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            synth(path, out.as_deref(), timeout)
+            synth(path, out.as_deref(), timeout, report.as_deref())
         }
         Some("check") => {
             let sys_path = it.next().ok_or("check needs a system file")?;
@@ -65,7 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err(
-            "usage: snbc synth <file> [--out <path>] [--timeout <secs>] | \
+            "usage: snbc synth <file> [--out <path>] [--timeout <secs>] [--report <json>] | \
              snbc check <file> <cert> [--deep] | snbc falsify <file> | snbc example"
                 .into(),
         ),
@@ -118,16 +127,28 @@ fn as_benchmark(sf: &SystemFile) -> (Benchmark, Mlp) {
     (bench, controller)
 }
 
-fn synth(path: &str, out: Option<&str>, timeout: u64) -> Result<(), String> {
+fn synth(path: &str, out: Option<&str>, timeout: u64, report: Option<&str>) -> Result<(), String> {
     let sf = load(path)?;
     let (bench, controller) = as_benchmark(&sf);
     let cfg = SnbcConfig {
         time_limit: Duration::from_secs(timeout),
         ..Default::default()
     };
-    let result = Snbc::new(cfg)
-        .synthesize(&bench, &controller)
-        .map_err(|e| e.to_string())?;
+    let telemetry = snbc_telemetry::Telemetry::recording();
+    let outcome = Snbc::new(cfg)
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, &controller);
+    // The per-round table and the JSON report are emitted even when synthesis
+    // fails — a timeout trace is exactly when the telemetry matters.
+    if let Some(rep) = telemetry.report() {
+        println!("{}", snbc_telemetry::render_round_table(&rep));
+        if let Some(rp) = report {
+            std::fs::write(rp, rep.to_json_string())
+                .map_err(|e| format!("cannot write {rp}: {e}"))?;
+            println!("run report written to {rp}");
+        }
+    }
+    let result = outcome.map_err(|e| e.to_string())?;
     println!("certified after {} iteration(s)", result.iterations);
     println!("B(x) = {}", result.barrier);
     println!("lambda(x) = {}", result.lambda);

@@ -28,6 +28,10 @@ pub struct ApproxOptions {
     pub max_mesh_points: usize,
     /// LP solver options.
     pub lp: LpOptions,
+    /// Telemetry sink. When recording, the abstraction emits an `"approx"`
+    /// span with the Theorem 2 quantities (σ̃, σ*, L, r_cov, mesh size) and
+    /// forwards itself to the Chebyshev LP if `lp.telemetry` is off.
+    pub telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Default for ApproxOptions {
@@ -37,6 +41,7 @@ impl Default for ApproxOptions {
             mesh_spacing: 0.1,
             max_mesh_points: 20_000,
             lp: LpOptions::default(),
+            telemetry: snbc_telemetry::Telemetry::off(),
         }
     }
 }
@@ -95,6 +100,7 @@ pub fn approximate_controller(
         return Err(SnbcError::Config("Lipschitz constant must be nonnegative".into()));
     }
     let n = domain.len();
+    let _span = opts.telemetry.span("approx");
 
     // Build the mesh.
     let (points, covering_radius) = build_mesh(domain, opts);
@@ -120,18 +126,39 @@ pub fn approximate_controller(
     }
     let mut c = vec![0.0; v + 1];
     c[v] = 1.0; // min t
-    let sol = solve_inequality(&c, &g, &rhs, &opts.lp)?;
+    let lp_opts = if opts.telemetry.is_recording() && !opts.lp.telemetry.is_recording() {
+        let mut fwd = opts.lp.clone();
+        fwd.telemetry = opts.telemetry.clone();
+        fwd
+    } else {
+        opts.lp.clone()
+    };
+    let sol = solve_inequality(&c, &g, &rhs, &lp_opts)?;
     let sigma_tilde = sol.objective.max(0.0);
     let h = Polynomial::from_coeffs(&sol.z[..v], &basis);
 
-    Ok(PolynomialInclusion {
+    let inc = PolynomialInclusion {
         sigma_star: sigma_tilde + covering_radius * lipschitz,
         h,
         sigma_tilde,
         lipschitz,
         covering_radius,
         mesh_points: m,
-    })
+    };
+    record_inclusion(&opts.telemetry, &inc);
+    Ok(inc)
+}
+
+/// Emits the Theorem 2 quantities of a finished inclusion on the current span.
+fn record_inclusion(t: &snbc_telemetry::Telemetry, inc: &PolynomialInclusion) {
+    if !t.is_recording() {
+        return;
+    }
+    t.add("mesh_points", inc.mesh_points as u64);
+    t.gauge("sigma_tilde", inc.sigma_tilde);
+    t.gauge("sigma_star", inc.sigma_star);
+    t.gauge("lipschitz", inc.lipschitz);
+    t.gauge("covering_radius", inc.covering_radius);
 }
 
 /// Builds the sample set and its covering radius.
@@ -321,11 +348,21 @@ pub fn approximate_mlp(
     domain: &[(f64, f64)],
     opts: &ApproxOptions,
 ) -> Result<PolynomialInclusion, SnbcError> {
+    // This wrapper owns the "approx" span so σ* is reported *after* the
+    // branch-and-bound tightening below; the inner call runs with its own
+    // telemetry off (the LP still reports into the shared recorder).
+    let telemetry = opts.telemetry.clone();
+    let _span = telemetry.span("approx");
+    let mut inner = opts.clone();
+    inner.telemetry = snbc_telemetry::Telemetry::off();
+    if telemetry.is_recording() && !inner.lp.telemetry.is_recording() {
+        inner.lp.telemetry = telemetry.clone();
+    }
     let mut base = approximate_controller(
         &|x| mlp.forward(x),
         mlp.lipschitz_bound(),
         domain,
-        opts,
+        &inner,
     )?;
     // Escalating σ levels between the sampled optimum and the Lipschitz
     // fallback; accept the first level branch-and-bound can certify. A cheap
@@ -347,6 +384,7 @@ pub fn approximate_mlp(
         }
         sigma *= 1.5;
     }
+    record_inclusion(&telemetry, &base);
     Ok(base)
 }
 

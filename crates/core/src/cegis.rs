@@ -87,12 +87,40 @@ pub struct SnbcResult {
 #[derive(Debug, Clone)]
 pub struct Snbc {
     cfg: SnbcConfig,
+    telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Snbc {
     /// Creates a synthesizer with the given configuration.
     pub fn new(cfg: SnbcConfig) -> Self {
-        Snbc { cfg }
+        Snbc {
+            cfg,
+            telemetry: snbc_telemetry::Telemetry::off(),
+        }
+    }
+
+    /// Attaches a telemetry sink and threads it through every pipeline stage
+    /// (abstraction LP, learner, SDP verifier, counterexample search), so a
+    /// recording run produces the full `snbc-run-report` span tree:
+    /// `cegis → approx/round → learn/verify/cex → lp/sdp/search-*`.
+    ///
+    /// ```
+    /// use snbc::{Snbc, SnbcConfig};
+    /// use snbc_telemetry::Telemetry;
+    ///
+    /// let telemetry = Telemetry::recording();
+    /// let _snbc = Snbc::new(SnbcConfig::default()).with_telemetry(telemetry.clone());
+    /// // after `synthesize(..)`: telemetry.report() holds the span tree.
+    /// ```
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: snbc_telemetry::Telemetry) -> Self {
+        self.cfg.approx.telemetry = telemetry.clone();
+        self.cfg.approx.lp.telemetry = telemetry.clone();
+        self.cfg.learner.telemetry = telemetry.clone();
+        self.cfg.verifier.solver.telemetry = telemetry.clone();
+        self.cfg.cex.telemetry = telemetry.clone();
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration.
@@ -110,6 +138,11 @@ impl Snbc {
     /// * [`SnbcError::Timeout`] — the wall-clock budget tripped (`OT`).
     pub fn synthesize(&self, bench: &Benchmark, controller: &Mlp) -> Result<SnbcResult, SnbcError> {
         let t0 = Instant::now();
+        let tele = self.telemetry.clone();
+        let _run = tele.span("cegis");
+        if tele.is_recording() {
+            tele.label("benchmark", bench.name);
+        }
         let system = &bench.system;
         let n = system.nvars();
 
@@ -118,6 +151,9 @@ impl Snbc {
         // Lipschitz gap, especially in high dimension).
         let inclusion =
             crate::approximate_mlp(controller, system.domain().bounding_box(), &self.cfg.approx)?;
+        if tele.is_recording() {
+            tele.gauge("sigma_star", inclusion.sigma_star);
+        }
 
         // Step 2: initialize networks per the benchmark's Table 1 shapes.
         let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, self.cfg.seed);
@@ -147,10 +183,15 @@ impl Snbc {
 
         for iter in 1..=self.cfg.max_iterations {
             if t0.elapsed() > self.cfg.time_limit {
+                if tele.is_recording() {
+                    tele.add("iterations", (iter - 1) as u64);
+                    tele.flag("certified", false);
+                }
                 return Err(SnbcError::Timeout {
                     elapsed: t0.elapsed().as_secs_f64(),
                 });
             }
+            let round_span = tele.span_indexed("round", iter as u64);
 
             // Learner (step 3 / step 9).
             let tl = Instant::now();
@@ -177,6 +218,11 @@ impl Snbc {
                     .lambda
                     .clone()
                     .expect("feasible flow problem returns lambda");
+                drop(round_span);
+                if tele.is_recording() {
+                    tele.add("iterations", iter as u64);
+                    tele.flag("certified", true);
+                }
                 return Ok(SnbcResult {
                     barrier: b,
                     lambda,
@@ -194,6 +240,7 @@ impl Snbc {
 
             // Counterexamples (steps 7–8).
             let tc = Instant::now();
+            let cex_span = tele.span("cex");
             let mut added = self.feed_counterexamples(
                 &outcome,
                 &b,
@@ -204,12 +251,14 @@ impl Snbc {
                 &mut sets,
                 iter,
             );
+            let mut interval_fallback = false;
             if added == 0 {
                 // Gradient ascent found no violating sample although SOS
                 // verification failed: fall back to the δ-complete interval
                 // oracle, which finds true violations (or certifies there are
                 // none, in which case the failure is a relaxation gap and
                 // fresh samples sharpen the candidate's margins).
+                interval_fallback = true;
                 added = self.interval_counterexamples(
                     &outcome,
                     &b,
@@ -220,6 +269,11 @@ impl Snbc {
                     &mut sets,
                 );
             }
+            if tele.is_recording() {
+                tele.add("points", added as u64);
+                tele.flag("interval_fallback", interval_fallback);
+            }
+            drop(cex_span);
             t_cex += tc.elapsed();
             if added == 0 {
                 plateau += 1;
@@ -227,6 +281,7 @@ impl Snbc {
                     // Relaxation-gap plateau: restart the learner in a fresh
                     // basin (new initialization + fresh samples).
                     plateau = 0;
+                    tele.add("reseeds", 1);
                     let reseed = self.cfg.seed + 1000 * iter as u64;
                     let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, reseed);
                     let lambda_net = match &bench.lambda_spec {
@@ -253,6 +308,10 @@ impl Snbc {
             } else {
                 plateau = 0;
             }
+        }
+        if tele.is_recording() {
+            tele.add("iterations", self.cfg.max_iterations as u64);
+            tele.flag("certified", false);
         }
         Err(SnbcError::IterationsExhausted {
             iterations: self.cfg.max_iterations,

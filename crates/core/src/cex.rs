@@ -53,6 +53,11 @@ pub struct CexConfig {
     pub ball_samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Telemetry sink. When recording, [`find_counterexample`] emits a
+    /// `"search-init"`/`"search-unsafe"`/`"search-flow"` span (per violated
+    /// condition) with the ball radius `γ`, the violation magnitude, and the
+    /// number of points handed back to the Learner.
+    pub telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Default for CexConfig {
@@ -63,6 +68,7 @@ impl Default for CexConfig {
             step_size: 0.1,
             ball_samples: 24,
             seed: 17,
+            telemetry: snbc_telemetry::Telemetry::off(),
         }
     }
 }
@@ -94,6 +100,12 @@ pub fn find_counterexample(
     condition: ViolatedCondition,
     cfg: &CexConfig,
 ) -> Option<Counterexample> {
+    let span_name = match condition {
+        ViolatedCondition::Init => "search-init",
+        ViolatedCondition::Unsafe => "search-unsafe",
+        ViolatedCondition::Flow => "search-flow",
+    };
+    let _span = cfg.telemetry.span(span_name);
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let bounds = set.bounding_box().to_vec();
     let n = bounds.len();
@@ -188,6 +200,11 @@ pub fn find_counterexample(
         }
     }
 
+    if cfg.telemetry.is_recording() {
+        cfg.telemetry.add("points", points.len() as u64);
+        cfg.telemetry.gauge("gamma", gamma);
+        cfg.telemetry.gauge("violation", violation);
+    }
     Some(Counterexample {
         condition,
         worst,

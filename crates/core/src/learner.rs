@@ -62,6 +62,9 @@ pub struct LearnerConfig {
     /// the optimizer can "improve" the loss forever by inflating the scale
     /// of `B` instead of fixing violations.
     pub weight_decay: f64,
+    /// Telemetry sink. When recording, [`Learner::train`] emits a `"learn"`
+    /// span with epoch/Adam-step counters and the final loss (10).
+    pub telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Default for LearnerConfig {
@@ -74,6 +77,7 @@ impl Default for LearnerConfig {
             weights: (1.0, 1.0, 1.0),
             loss_target: 1e-4,
             weight_decay: 1e-3,
+            telemetry: snbc_telemetry::Telemetry::off(),
         }
     }
 }
@@ -186,6 +190,9 @@ impl Learner {
     /// Panics if `sets` is empty or sample dimensions mismatch the field.
     pub fn train(&mut self, closed_field: &[Polynomial], sigma_star: f64, sets: &TrainingSets) -> f64 {
         assert!(!sets.is_empty(), "cannot train on empty sample sets");
+        let _span = self.cfg.telemetry.span("learn");
+        let mut epochs_run: u64 = 0;
+        let mut adam_steps: u64 = 0;
         let n = closed_field.len();
         let nb = self.b_net.num_params();
         let nl = self.lambda_net.num_params();
@@ -312,6 +319,7 @@ impl Learner {
                 loss = tape.add(loss, reg);
             }
             last_loss = tape.value(loss);
+            epochs_run += 1;
             // Early stop on the *per-sample* hinge mass (the LeakyReLU
             // surrogate can go negative once all conditions hold with margin,
             // which says nothing about remaining violations).
@@ -321,9 +329,15 @@ impl Learner {
             let grads = tape.grad(loss, &pvars);
             let g: Vec<f64> = grads.iter().map(|&v| tape.value(v)).collect();
             self.optimizer.step(&mut params, &g);
+            adam_steps += 1;
         }
         self.b_net.set_params(&params[..nb]);
         self.lambda_net.set_params(&params[nb..nb + nl]);
+        if self.cfg.telemetry.is_recording() {
+            self.cfg.telemetry.add("epochs", epochs_run);
+            self.cfg.telemetry.add("adam_steps", adam_steps);
+            self.cfg.telemetry.gauge("final_loss", last_loss);
+        }
         last_loss
     }
 

@@ -27,12 +27,26 @@
 //! The [`Snbc`] driver ties these into the CEGIS loop and records the same
 //! per-phase timings Table 1 reports (`T_l`, `T_c`, `T_v`, `T_e`).
 //!
+//! # Telemetry
+//!
+//! Every stage of the pipeline is instrumented with the zero-dependency
+//! [`snbc_telemetry`] layer: attach a recording sink with
+//! [`Snbc::with_telemetry`] and a run produces a span tree
+//! (`cegis → approx / round → learn / verify / cex → lp / sdp / search-*`)
+//! carrying learner epochs and final loss, interior-point iteration counts
+//! and duality measures per LMI (13)–(15), Cholesky factorization counts,
+//! counterexample counts and ball radii `γ`, and the inclusion error `σ*`.
+//! The serialized `snbc-run-report/1` JSON schema is documented in
+//! `docs/TELEMETRY.md`; with the default [`snbc_telemetry::Telemetry::off`]
+//! sink every instrumentation point reduces to a null check.
+//!
 //! # Quickstart
 //!
 //! ```no_run
 //! use snbc::{Snbc, SnbcConfig};
 //! use snbc_dynamics::benchmarks;
 //! use snbc_nn::{train_controller, ControllerTraining};
+//! use snbc_telemetry::Telemetry;
 //!
 //! # fn main() -> Result<(), snbc::SnbcError> {
 //! let bench = benchmarks::benchmark(3);
@@ -41,8 +55,13 @@
 //!     bench.target_law,
 //!     &ControllerTraining::default(),
 //! );
-//! let result = Snbc::new(SnbcConfig::default()).synthesize(&bench, &controller)?;
+//! let telemetry = Telemetry::recording();
+//! let result = Snbc::new(SnbcConfig::default())
+//!     .with_telemetry(telemetry.clone())
+//!     .synthesize(&bench, &controller)?;
 //! println!("B(x) = {}", result.barrier);
+//! let report = telemetry.report().expect("recording sink");
+//! println!("{}", snbc_telemetry::render_round_table(&report));
 //! # Ok(())
 //! # }
 //! ```

@@ -123,9 +123,29 @@ impl<'a> Verifier<'a> {
     /// reported as infeasible with margin `−∞` so the loop can continue with
     /// more counterexamples.
     pub fn verify(&self, b: &Polynomial) -> VerificationOutcome {
-        let init = self.check_init(b);
-        let unsafe_ = self.check_unsafe(b);
-        let flow = self.check_flow(b);
+        // The SDP solver's telemetry doubles as the verifier's sink: the
+        // "init"/"unsafe"/"flow" spans opened here enclose the nested "sdp"
+        // spans the instrumented solver emits for each ladder rung.
+        let t = &self.cfg.solver.telemetry;
+        let _span = t.span("verify");
+        let init = {
+            let _s = t.span("init");
+            let r = self.check_init(b);
+            record_subproblem(t, &r);
+            r
+        };
+        let unsafe_ = {
+            let _s = t.span("unsafe");
+            let r = self.check_unsafe(b);
+            record_subproblem(t, &r);
+            r
+        };
+        let flow = {
+            let _s = t.span("flow");
+            let r = self.check_flow(b);
+            record_subproblem(t, &r);
+            r
+        };
         VerificationOutcome {
             init,
             unsafe_,
@@ -204,6 +224,15 @@ impl<'a> Verifier<'a> {
             &self.degree_ladder(),
         )
     }
+}
+
+/// Emits a sub-problem's Gram margin and feasibility flag on the current span.
+fn record_subproblem(t: &snbc_telemetry::Telemetry, r: &SubproblemResult) {
+    if !t.is_recording() {
+        return;
+    }
+    t.gauge("margin", r.margin);
+    t.flag("feasible", r.feasible);
 }
 
 fn finish(
@@ -404,14 +433,31 @@ pub fn verify_multi(
         system.num_inputs(),
         "one inclusion per control channel"
     );
+    let t = cfg.solver.telemetry.clone();
+    let _span = t.span("verify");
     // Conditions (13) and (14) are channel-independent: reuse the scalar
     // verifier with a dummy inclusion.
     let scalar = Verifier::new(system, &inclusions[0], cfg.clone());
-    let init = scalar.check_init(b);
-    let unsafe_ = scalar.check_unsafe(b);
+    let init = {
+        let _s = t.span("init");
+        let r = scalar.check_init(b);
+        record_subproblem(&t, &r);
+        r
+    };
+    let unsafe_ = {
+        let _s = t.span("unsafe");
+        let r = scalar.check_unsafe(b);
+        record_subproblem(&t, &r);
+        r
+    };
 
     // Flow (15) over (x, w₁ … w_m) — shared with the scalar path.
-    let flow = check_flow_channels(system, inclusions, b, cfg, &scalar.degree_ladder());
+    let flow = {
+        let _s = t.span("flow");
+        let r = check_flow_channels(system, inclusions, b, cfg, &scalar.degree_ladder());
+        record_subproblem(&t, &r);
+        r
+    };
     VerificationOutcome { init, unsafe_, flow }
 }
 

@@ -13,6 +13,10 @@ pub struct LpOptions {
     pub step_fraction: f64,
     /// Diagonal regularization added to the normal equations.
     pub regularization: f64,
+    /// Telemetry sink; each solve records an `"lp"` span with its iteration
+    /// count and final duality measure μ. The default no-op sink costs one
+    /// pointer check per solve.
+    pub telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Default for LpOptions {
@@ -22,6 +26,7 @@ impl Default for LpOptions {
             tolerance: 1e-8,
             step_fraction: 0.995,
             regularization: 1e-12,
+            telemetry: snbc_telemetry::Telemetry::off(),
         }
     }
 }
@@ -48,6 +53,8 @@ pub struct LpSolution {
     pub objective: f64,
     /// Iterations used.
     pub iterations: usize,
+    /// Final duality measure `μ = xᵀs / n` at the returned iterate.
+    pub mu: f64,
     /// Termination status.
     pub status: LpStatus,
 }
@@ -77,6 +84,35 @@ pub struct InequalitySolution {
 /// * [`LpError::Numerical`] — normal equations could not be factorized even
 ///   with regularization.
 pub fn solve_standard(a: &Matrix, b: &[f64], c: &[f64], opts: &LpOptions) -> Result<LpSolution, LpError> {
+    // Telemetry wrapper: a no-op sink skips everything but one null check;
+    // the inner loop itself is untouched either way.
+    let _span = opts.telemetry.span("lp");
+    let result = solve_standard_inner(a, b, c, opts);
+    if opts.telemetry.is_recording() {
+        match &result {
+            Ok(sol) => {
+                opts.telemetry.add("iterations", sol.iterations as u64);
+                opts.telemetry.gauge("duality_mu", sol.mu);
+                opts.telemetry.gauge("objective", sol.objective);
+                opts.telemetry.flag("optimal", matches!(sol.status, LpStatus::Optimal));
+            }
+            Err(LpError::IterationLimit { iterations, mu }) => {
+                opts.telemetry.add("iterations", *iterations as u64);
+                opts.telemetry.gauge("duality_mu", *mu);
+                opts.telemetry.flag("optimal", false);
+            }
+            Err(_) => opts.telemetry.flag("optimal", false),
+        }
+    }
+    result
+}
+
+fn solve_standard_inner(
+    a: &Matrix,
+    b: &[f64],
+    c: &[f64],
+    opts: &LpOptions,
+) -> Result<LpSolution, LpError> {
     let (m, n) = (a.nrows(), a.ncols());
     if b.len() != m {
         return Err(LpError::Dimension(format!(
@@ -146,6 +182,7 @@ pub fn solve_standard(a: &Matrix, b: &[f64], c: &[f64], opts: &LpOptions) -> Res
                 y,
                 s,
                 iterations: iter,
+                mu,
                 status: LpStatus::Optimal,
             });
         }
@@ -236,12 +273,14 @@ pub fn solve_standard(a: &Matrix, b: &[f64], c: &[f64], opts: &LpOptions) -> Res
     if let Some((merit, bx, by, bs, iter)) = best {
         if merit < 1e-6 {
             let objective = vec_ops::dot(c, &bx);
+            let mu = vec_ops::dot(&bx, &bs) / n as f64;
             return Ok(LpSolution {
                 x: bx,
                 y: by,
                 s: bs,
                 objective,
                 iterations: iter,
+                mu,
                 status: if merit < opts.tolerance {
                     LpStatus::Optimal
                 } else {

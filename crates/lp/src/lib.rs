@@ -14,6 +14,14 @@
 //! * [`simplex`] — a dense two-phase simplex used as an independent
 //!   cross-check in tests.
 //!
+//! # Telemetry
+//!
+//! When [`LpOptions::telemetry`] holds a recording sink (see
+//! [`snbc_telemetry`]), each interior-point solve emits an `"lp"` span with
+//! the iteration count, the final duality measure `μ = xᵀs / n`, the
+//! objective value, and an `optimal` flag — recorded once per solve, never
+//! inside the iteration loop.
+//!
 //! # Example
 //!
 //! ```

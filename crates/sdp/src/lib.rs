@@ -19,6 +19,16 @@
 //! direction and Mehrotra predictor–corrector — the same algorithm family as
 //! SDPA/SDPT3/SeDuMi — on top of [`snbc_linalg`].
 //!
+//! # Telemetry
+//!
+//! When [`SdpSolver::telemetry`] holds a recording sink (see
+//! [`snbc_telemetry`]), each `solve` emits an `"sdp"` span carrying the IPM
+//! iteration count, the final duality measure `μ`, primal/dual residuals,
+//! the number of Cholesky factorizations performed, and an `optimal` flag.
+//! Metrics are aggregated in plain locals during the solve and recorded once
+//! at the end, so the inner loop allocates nothing extra; with the default
+//! no-op sink the instrumentation reduces to a null check.
+//!
 //! # Example
 //!
 //! ```

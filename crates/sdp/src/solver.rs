@@ -57,6 +57,11 @@ pub struct SdpSolver {
     /// [`SdpError::IterationLimit`]. Lets callers with an overall deadline
     /// (the paper's 7200 s `OT`) bound even a single large solve.
     pub time_limit: Option<std::time::Duration>,
+    /// Telemetry sink; each solve records an `"sdp"` span with IPM iteration
+    /// and Cholesky factorization counts plus the final duality measure μ and
+    /// residuals. The default no-op sink costs one pointer check per solve —
+    /// the iteration loop itself is never instrumented.
+    pub telemetry: snbc_telemetry::Telemetry,
 }
 
 impl Default for SdpSolver {
@@ -67,6 +72,7 @@ impl Default for SdpSolver {
             step_fraction: 0.98,
             regularization: 1e-14,
             time_limit: None,
+            telemetry: snbc_telemetry::Telemetry::off(),
         }
     }
 }
@@ -114,6 +120,40 @@ impl SdpSolver {
     ///   divergence of the iterates;
     /// * [`SdpError::Numerical`] — unrecoverable factorization failure.
     pub fn solve(&self, problem: &SdpProblem) -> Result<SdpSolution, SdpError> {
+        // Telemetry wrapper: metrics are aggregated in plain locals inside
+        // the solve and emitted once here, so the recording sink allocates
+        // nothing in the iteration loop (and the no-op sink costs a null
+        // check).
+        let _span = self.telemetry.span("sdp");
+        let mut cholesky_count: usize = 0;
+        let result = self.solve_inner(problem, &mut cholesky_count);
+        if self.telemetry.is_recording() {
+            self.telemetry.add("cholesky", cholesky_count as u64);
+            match &result {
+                Ok(sol) => {
+                    self.telemetry.add("iterations", sol.iterations as u64);
+                    self.telemetry.gauge("duality_mu", sol.mu);
+                    self.telemetry.gauge("primal_residual", sol.primal_residual);
+                    self.telemetry.gauge("dual_residual", sol.dual_residual);
+                    self.telemetry
+                        .flag("optimal", matches!(sol.status, SdpStatus::Optimal));
+                }
+                Err(SdpError::IterationLimit { iterations, mu }) => {
+                    self.telemetry.add("iterations", *iterations as u64);
+                    self.telemetry.gauge("duality_mu", *mu);
+                    self.telemetry.flag("optimal", false);
+                }
+                Err(_) => self.telemetry.flag("optimal", false),
+            }
+        }
+        result
+    }
+
+    fn solve_inner(
+        &self,
+        problem: &SdpProblem,
+        cholesky_count: &mut usize,
+    ) -> Result<SdpSolution, SdpError> {
         problem.validate()?;
         let shapes = problem.shapes().to_vec();
         let m = problem.num_constraints();
@@ -223,10 +263,10 @@ impl SdpSolver {
             }
 
             // Factor blocks.
-            let scalings = self.factor_blocks(&x, &z)?;
+            let scalings = self.factor_blocks(&x, &z, cholesky_count)?;
 
             // Schur complement M and the shared pieces of the rhs.
-            let schur = self.build_schur(problem, &scalings, m)?;
+            let schur = self.build_schur(problem, &scalings, m, cholesky_count)?;
 
             // Predictor: ν = 0, no corrector.
             let (dx_aff, dy_aff, dz_aff) =
@@ -296,24 +336,33 @@ impl SdpSolver {
         })
     }
 
-    fn factor_blocks(&self, x: &BlockMatrix, z: &BlockMatrix) -> Result<Vec<Scaling>, SdpError> {
+    fn factor_blocks(
+        &self,
+        x: &BlockMatrix,
+        z: &BlockMatrix,
+        cholesky_count: &mut usize,
+    ) -> Result<Vec<Scaling>, SdpError> {
         let mut out = Vec::with_capacity(x.num_blocks());
         for (xb, zb) in x.blocks().iter().zip(z.blocks()) {
             match (xb, zb) {
                 (Block::Dense(xm), Block::Dense(zm)) => {
+                    *cholesky_count += 1;
                     let z_chol = zm.cholesky().or_else(|_| {
                         // Tiny perturbation rescue.
                         let mut p = zm.clone();
                         for i in 0..p.nrows() {
                             p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
                         }
+                        *cholesky_count += 1;
                         p.cholesky()
                     })?;
+                    *cholesky_count += 1;
                     let x_chol = xm.cholesky().or_else(|_| {
                         let mut p = xm.clone();
                         for i in 0..p.nrows() {
                             p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
                         }
+                        *cholesky_count += 1;
                         p.cholesky()
                     })?;
                     out.push(Scaling::Dense {
@@ -340,6 +389,7 @@ impl SdpSolver {
         problem: &SdpProblem,
         scalings: &[Scaling],
         m: usize,
+        cholesky_count: &mut usize,
     ) -> Result<Cholesky, SdpError> {
         let mut big_m = Matrix::zeros(m, m);
         // Dense blocks: one row of M at a time via U_k = Z⁻¹·(A_k·X), so only
@@ -418,12 +468,14 @@ impl SdpSolver {
             }
             big_m[(k, k)] += self.regularization * (1.0 + big_m[(k, k)]);
         }
+        *cholesky_count += 1;
         big_m
             .cholesky()
             .or_else(|_| {
                 for k in 0..m {
                     big_m[(k, k)] += 1e-7 * (1.0 + big_m[(k, k)]);
                 }
+                *cholesky_count += 1;
                 big_m.cholesky()
             })
             .map_err(SdpError::from)

@@ -279,6 +279,37 @@ impl SosProgram {
                     for a in 0..g.nrows() {
                         g[(a, a)] += t;
                     }
+                    // sanitize: the extracted Gram block G = H + t·I must be
+                    // finite and symmetric (H is a primal SDP iterate), and
+                    // PSD up to the margin shift: λ_min(G) ≥ min(t, 0) − tol
+                    // since H ⪰ 0 up to solver tolerance. The λ_min
+                    // computation is itself gated so the release build does
+                    // no extra work.
+                    #[cfg(feature = "sanitize")]
+                    {
+                        snbc_linalg::sanitize::check_finite(
+                            "sos::gram extraction",
+                            g.as_slice(),
+                        );
+                        let mut asym: f64 = 0.0;
+                        for a in 0..g.nrows() {
+                            for b in (a + 1)..g.ncols() {
+                                asym = asym.max((g[(a, b)] - g[(b, a)]).abs());
+                            }
+                        }
+                        let scale = 1.0 + g.norm_fro();
+                        snbc_linalg::sanitize::check_invariant(
+                            "sos::gram symmetric",
+                            asym <= 1e-8 * scale,
+                            asym,
+                        );
+                        let lmin = g.min_eigenvalue().unwrap_or(f64::NAN);
+                        snbc_linalg::sanitize::check_invariant(
+                            "sos::gram psd up to margin shift",
+                            lmin >= t.min(0.0) - 1e-6 * scale,
+                            lmin,
+                        );
+                    }
                     let mut p = Polynomial::zero();
                     for a in 0..basis.len() {
                         for bidx in 0..basis.len() {

@@ -1,12 +1,26 @@
 //! Quickstart: synthesize a neural barrier certificate for a 2-D benchmark.
 //!
-//! Run: `cargo run --release --example quickstart`
+//! Run: `cargo run --release --example quickstart [-- --report <json-file>]`
+//!
+//! With `--report`, the run's full telemetry document (schema
+//! `snbc-run-report/1`, see `docs/TELEMETRY.md`) is written to the given
+//! path; the per-round table is printed either way.
 
 use snbc::{Snbc, SnbcConfig};
 use snbc_dynamics::benchmarks;
 use snbc_nn::{train_controller, ControllerTraining};
+use snbc_telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut report_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => report_path = Some(args.next().ok_or("--report needs a path")?),
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+
     // 1. Pick a benchmark system C = ⟨f, Θ, Ψ⟩ with unsafe set Ξ.
     let bench = benchmarks::benchmark(3);
     println!(
@@ -29,8 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         controller.lipschitz_bound()
     );
 
-    // 3. Run SNBC (Algorithm 1): abstraction → learn → LMI-verify → refine.
-    let result = Snbc::new(SnbcConfig::default()).synthesize(&bench, &controller)?;
+    // 3. Run SNBC (Algorithm 1) with a recording telemetry sink:
+    //    abstraction → learn → LMI-verify → refine, every phase timed.
+    let telemetry = Telemetry::recording();
+    let result = Snbc::new(SnbcConfig::default())
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, &controller)?;
+
+    // 4. The telemetry report: per-round table on stdout, JSON on request.
+    if let Some(report) = telemetry.report() {
+        println!("\n{}", snbc_telemetry::render_round_table(&report));
+        if let Some(path) = &report_path {
+            std::fs::write(path, report.to_json_string())?;
+            println!("run report written to {path}");
+        }
+    }
 
     println!("\nVerified barrier certificate (after {} iterations):", result.iterations);
     println!("  B(x) = {}", result.barrier);
