@@ -17,11 +17,15 @@ cargo test -q --workspace --doc
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (workspace)"
+echo "==> cargo test -q (workspace, default parallelism)"
 cargo test -q --workspace
 
-echo "==> cargo test -q --features sanitize (solver + SOS crates)"
+echo "==> cargo test -q (workspace, SNBC_THREADS=1 — guaranteed-serial leg)"
+SNBC_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q --features sanitize (solver + SOS + par crates)"
 cargo test -q -p snbc-linalg -p snbc-lp -p snbc-sdp --features snbc-linalg/sanitize
 cargo test -q -p snbc-sos --features sanitize
+cargo test -q -p snbc-par --features sanitize
 
 echo "CI OK"

@@ -3,9 +3,9 @@
 //! (`rand`, `proptest`, `criterion`, `serde`) may appear.
 //!
 //! The DAG encoded here is the one DESIGN.md §"Workspace inventory" draws
-//! (bottom-up): `telemetry` is a leaf usable from any layer; `linalg` →
-//! {`lp`, `sdp`} → `sos`; `poly` → {`sos`, `interval`, `nn`, `dynamics`};
-//! `autodiff` → `nn`;
+//! (bottom-up): `telemetry` and `par` are leaves usable from any layer;
+//! `linalg` → {`lp`, `sdp`} → `sos`; `poly` → {`sos`, `interval`, `nn`,
+//! `dynamics`}; `autodiff` → `nn`;
 //! {`sos`,`interval`,`nn`,`dynamics`} → `core` → `baselines` → `bench`.
 //! A crate may depend on any crate strictly below it in that layering; the
 //! table lists the full transitive allowance per crate so the check is a
@@ -19,7 +19,7 @@ pub const SANCTIONED_EXTERNAL: &[&str] = &["rand", "proptest", "criterion", "ser
 /// Allowed *internal* dependencies per crate directory name.
 pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const FOUNDATION: &[&str] = &[];
-    const SOLVER_CORE: &[&str] = &["snbc-linalg", "snbc-telemetry"];
+    const SOLVER_CORE: &[&str] = &["snbc-linalg", "snbc-telemetry", "snbc-par"];
     const SOS: &[&str] = &["snbc-linalg", "snbc-poly", "snbc-lp", "snbc-sdp"];
     const INTERVAL: &[&str] = &["snbc-linalg", "snbc-poly"];
     const NN: &[&str] = &[
@@ -31,6 +31,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const DYNAMICS: &[&str] = &["snbc-linalg", "snbc-poly"];
     const CORE: &[&str] = &[
         "snbc-telemetry",
+        "snbc-par",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -43,6 +44,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
     const BASELINES: &[&str] = &[
         "snbc-telemetry",
+        "snbc-par",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -56,6 +58,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
     const BENCH: &[&str] = &[
         "snbc-telemetry",
+        "snbc-par",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -70,6 +73,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
     const CLI: &[&str] = &[
         "snbc-telemetry",
+        "snbc-par",
         "snbc-linalg",
         "snbc-poly",
         "snbc-autodiff",
@@ -84,7 +88,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
 
     Some(match crate_dir {
-        "linalg" | "poly" | "autodiff" | "audit" | "telemetry" => FOUNDATION,
+        "linalg" | "poly" | "autodiff" | "audit" | "telemetry" | "par" => FOUNDATION,
         "lp" | "sdp" => SOLVER_CORE,
         "sos" => SOS,
         "interval" => INTERVAL,

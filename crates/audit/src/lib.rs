@@ -32,6 +32,11 @@ use std::path::{Path, PathBuf};
 /// stack that the verifier side of CEGIS leans on.
 pub const SOLVER_CRATES: &[&str] = &["linalg", "lp", "sdp", "sos", "interval"];
 
+/// Crates allowed to touch `std::thread` directly: the deterministic parallel
+/// runtime itself and the telemetry sink (thread-name labels). Everything
+/// else must route parallelism through `snbc-par` (`raw-thread` rule).
+pub const THREAD_OWNER_CRATES: &[&str] = &["par", "telemetry"];
+
 /// Configuration for a workspace audit run.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
@@ -84,6 +89,7 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
         }
         let opts = ScanOptions {
             check_panicking: SOLVER_CRATES.contains(&crate_name.as_str()),
+            check_raw_thread: !THREAD_OWNER_CRATES.contains(&crate_name.as_str()),
         };
         let mut sources = Vec::new();
         collect_rs_files(&src_dir, &mut sources)?;
@@ -104,7 +110,13 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
 /// Render findings grouped by rule, for terminal output.
 pub fn render_findings(findings: &[Finding]) -> String {
     let mut out = String::new();
-    for rule in [Rule::Arch, Rule::Panicking, Rule::FloatEq, Rule::LossyCast] {
+    for rule in [
+        Rule::Arch,
+        Rule::Panicking,
+        Rule::FloatEq,
+        Rule::LossyCast,
+        Rule::RawThread,
+    ] {
         let of_rule: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
         if of_rule.is_empty() {
             continue;

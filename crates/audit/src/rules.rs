@@ -7,6 +7,7 @@
 //! | `float-eq` | `==` / `!=` with a float literal on either side |
 //! | `panicking` | `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in solver-crate library code |
 //! | `lossy-cast` | `as` casts to a numeric type narrower than 64 bits (`f32`, `i8..i32`, `u8..u32`) |
+//! | `raw-thread` | `thread::spawn` outside `crates/par` / `crates/telemetry` — use `snbc-par` so determinism and panic propagation are centralized |
 //!
 //! All rules skip `#[cfg(test)]` / `#[test]` items: test code is allowed to
 //! unwrap and compare exactly. Suppressions apply on the finding's line or the
@@ -21,6 +22,7 @@ pub enum Rule {
     FloatEq,
     Panicking,
     LossyCast,
+    RawThread,
     Arch,
 }
 
@@ -30,6 +32,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::Panicking => "panicking",
             Rule::LossyCast => "lossy-cast",
+            Rule::RawThread => "raw-thread",
             Rule::Arch => "arch",
         }
     }
@@ -39,6 +42,7 @@ impl Rule {
             "float-eq" => Some(Rule::FloatEq),
             "panicking" => Some(Rule::Panicking),
             "lossy-cast" => Some(Rule::LossyCast),
+            "raw-thread" => Some(Rule::RawThread),
             "arch" => Some(Rule::Arch),
             _ => None,
         }
@@ -75,6 +79,9 @@ impl fmt::Display for Finding {
 pub struct ScanOptions {
     /// Apply the `panicking` rule (library code of solver crates only).
     pub check_panicking: bool,
+    /// Apply the `raw-thread` rule (every crate except `par` and
+    /// `telemetry`, which own the sanctioned threading primitives).
+    pub check_raw_thread: bool,
 }
 
 /// Scan one source file and return its (unsuppressed) findings.
@@ -112,6 +119,21 @@ pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding>
                         });
                     }
                 }
+            }
+            TokenKind::Ident
+                if opts.check_raw_thread
+                    && tok.text == "thread"
+                    && raw_thread_spawn(&lexed.tokens, i) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::RawThread,
+                    file: rel_path.to_string(),
+                    line: tok.line,
+                    message: "raw `thread::spawn` — route parallelism through `snbc-par` \
+                              (deterministic reduction + panic propagation) or annotate \
+                              audit:allow(raw-thread)"
+                        .to_string(),
+                });
             }
             TokenKind::Ident if opts.check_panicking => {
                 if let Some(msg) = panicking_call(&lexed.tokens, i) {
@@ -162,6 +184,14 @@ fn is_narrow_numeric(ty: &str) -> bool {
         ty,
         "f32" | "i8" | "i16" | "i32" | "u8" | "u16" | "u32"
     )
+}
+
+/// True when tokens at `i` spell `thread :: spawn` (covers `thread::spawn(..)`
+/// and `std::thread::spawn(..)`; scoped `s.spawn(..)` inside
+/// `thread::scope` does not match and is judged by the `scope` call site).
+fn raw_thread_spawn(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "::")
+        && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == "spawn")
 }
 
 /// Recognize panicking constructs at token `i`.
@@ -266,8 +296,9 @@ fn is_test_attr(attr: &[&str]) -> bool {
 mod tests {
     use super::*;
 
-    const LIB: ScanOptions = ScanOptions { check_panicking: true };
-    const NON_SOLVER: ScanOptions = ScanOptions { check_panicking: false };
+    const LIB: ScanOptions = ScanOptions { check_panicking: true, check_raw_thread: true };
+    const NON_SOLVER: ScanOptions = ScanOptions { check_panicking: false, check_raw_thread: true };
+    const THREAD_OWNER: ScanOptions = ScanOptions { check_panicking: false, check_raw_thread: false };
 
     #[test]
     fn flags_exact_float_comparisons() {
@@ -350,6 +381,30 @@ mod tests {
     fn previous_line_suppression() {
         let src = "// audit:allow(panicking)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }";
         assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_thread_spawn() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\nfn g() { thread::spawn(work); }\n";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::RawThread));
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn thread_scope_and_owner_crates_are_fine() {
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(scan_source("a.rs", scoped, NON_SOLVER).is_empty());
+        let raw = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(scan_source("a.rs", raw, THREAD_OWNER).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_suppression_works() {
+        let src = "// audit:allow(raw-thread)\nfn f() { std::thread::spawn(|| {}); }";
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn main() {
                 let path = format!("{dir}/BENCH_{}.json", bench.name);
                 std::fs::write(&path, rep.to_json_string()).expect("write run report");
                 eprintln!("[table1]   run report -> {path}");
+                eprintln!("[table1]   {}", snbc_bench::phase_wall_summary(&rep));
                 eprint!("{}", snbc_telemetry::render_round_table(&rep));
             }
             eprintln!(

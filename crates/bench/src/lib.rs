@@ -180,6 +180,42 @@ pub fn shared_inclusion(bench: &Benchmark, controller: &Mlp) -> snbc::Polynomial
         .expect("controller abstraction")
 }
 
+/// One line of per-phase wall-clock totals for a recorded SNBC run, plus the
+/// worker-thread count the run recorded (the `threads` gauge on the `cegis`
+/// span; see docs/PARALLELISM.md). Used by the `table1` binary's `--report`
+/// output so committed run reports state the parallelism they ran with.
+pub fn phase_wall_summary(report: &snbc_telemetry::Report) -> String {
+    use snbc_telemetry::SpanNode;
+    fn walk(n: &SpanNode, learn: &mut f64, verify: &mut f64, cex: &mut f64, threads: &mut Option<f64>) {
+        match n.name.as_str() {
+            "learn" => *learn += n.elapsed_s,
+            "verify" => *verify += n.elapsed_s,
+            s if s.starts_with("search-") => *cex += n.elapsed_s,
+            "cegis" => {
+                if let Some((_, t)) = n.gauges.iter().find(|(g, _)| g == "threads") {
+                    *threads = Some(*t);
+                }
+            }
+            _ => {}
+        }
+        // `verify` children (`init`/`unsafe`/`flow` → `sdp`) nest inside the
+        // per-phase totals already counted above, so recurse unconditionally
+        // but only match the phase span names.
+        for c in &n.children {
+            walk(c, learn, verify, cex, threads);
+        }
+    }
+    let (mut learn, mut verify, mut cex, mut threads) = (0.0, 0.0, 0.0, None);
+    walk(&report.root, &mut learn, &mut verify, &mut cex, &mut threads);
+    format!(
+        "threads={} wall: learn {:.3}s, verify {:.3}s, cex {:.3}s",
+        threads.map_or("?".to_string(), |t| format!("{}", t as u64)),
+        learn,
+        verify,
+        cex
+    )
+}
+
 /// Formats a duration like the paper's seconds columns.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

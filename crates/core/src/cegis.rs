@@ -142,6 +142,7 @@ impl Snbc {
         let _run = tele.span("cegis");
         if tele.is_recording() {
             tele.label("benchmark", bench.name);
+            tele.gauge("threads", snbc_par::threads() as f64);
         }
         let system = &bench.system;
         let n = system.nvars();

@@ -106,13 +106,26 @@ pub fn find_counterexample(
         ViolatedCondition::Flow => "search-flow",
     };
     let _span = cfg.telemetry.span(span_name);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    if cfg.telemetry.is_recording() {
+        cfg.telemetry
+            .label("workers", &snbc_par::threads().to_string());
+    }
     let bounds = set.bounding_box().to_vec();
     let n = bounds.len();
 
-    // Multi-start projected gradient ascent on v over the set.
-    let mut best: Option<(Vec<f64>, f64)> = None;
-    for r in 0..cfg.restarts {
+    // Multi-start projected gradient ascent on v over the set. Each restart
+    // owns an RNG seeded from `(cfg.seed, r)` so the restarts are mutually
+    // independent and the result never depends on execution order; the best
+    // point is then picked by a serial restart-index scan with a strict `>`
+    // comparison (ties break toward the lowest restart index), which keeps
+    // the output bitwise identical at any thread count.
+    let restart_rng = |r: usize| {
+        rand::rngs::StdRng::seed_from_u64(
+            cfg.seed ^ (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    };
+    let starts = snbc_par::par_map_collect(cfg.restarts, |r| {
+        let mut rng = restart_rng(r);
         let mut x: Vec<f64> = if r == 0 {
             set.box_center()
         } else {
@@ -145,11 +158,16 @@ pub fn find_counterexample(
                 }
             }
         }
+        (x, fx)
+    });
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for (x, fx) in starts {
         if set.contains(&x) && best.as_ref().is_none_or(|(_, b)| fx > *b) {
             best = Some((x, fx));
         }
     }
     let (worst, violation) = best?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     if violation <= 0.0 {
         return None;
     }

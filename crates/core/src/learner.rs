@@ -191,11 +191,17 @@ impl Learner {
     pub fn train(&mut self, closed_field: &[Polynomial], sigma_star: f64, sets: &TrainingSets) -> f64 {
         assert!(!sets.is_empty(), "cannot train on empty sample sets");
         let _span = self.cfg.telemetry.span("learn");
+        if self.cfg.telemetry.is_recording() {
+            self.cfg
+                .telemetry
+                .label("workers", &snbc_par::threads().to_string());
+        }
         let mut epochs_run: u64 = 0;
         let mut adam_steps: u64 = 0;
         let n = closed_field.len();
         let nb = self.b_net.num_params();
         let nl = self.lambda_net.num_params();
+        let np = nb + nl;
         let mut params: Vec<f64> = self
             .b_net
             .params()
@@ -213,112 +219,163 @@ impl Learner {
             xw.push(w);
             closed_field.iter().map(|f| f.eval(&xw)).collect()
         };
-        let field_lo: Vec<Vec<f64>> = sets.domain.iter().map(|x| eval_at(x, -sigma_star)).collect();
-        let field_hi: Vec<Vec<f64>> = sets.domain.iter().map(|x| eval_at(x, sigma_star)).collect();
+        let field_lo: Vec<Vec<f64>> =
+            snbc_par::par_map_collect(sets.domain.len(), |i| eval_at(&sets.domain[i], -sigma_star));
+        let field_hi: Vec<Vec<f64>> =
+            snbc_par::par_map_collect(sets.domain.len(), |i| eval_at(&sets.domain[i], sigma_star));
 
+        // The epoch's batch is split into fixed-size chunk jobs — the grid
+        // depends only on the sample counts, never on the worker count. Each
+        // job builds its own small tape over its samples and returns the
+        // unscaled penalty sum, the hinge mass, and the parameter gradient of
+        // its partial loss; the per-kind sums and the gradient are then
+        // reduced serially in job order, so every epoch is bitwise identical
+        // at any thread count.
+        const CHUNK: usize = 32;
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            Domain,
+            Init,
+            Unsafe,
+        }
+        let mut jobs: Vec<(Kind, usize, usize)> = Vec::new();
+        for (kind, len) in [
+            (Kind::Domain, sets.domain.len()),
+            (Kind::Init, sets.init.len()),
+            (Kind::Unsafe, sets.unsafe_.len()),
+        ] {
+            let mut lo = 0;
+            while lo < len {
+                let hi = (lo + CHUNK).min(len);
+                jobs.push((kind, lo, hi));
+                lo = hi;
+            }
+        }
+
+        let b_net = &self.b_net;
+        let lambda_net = &self.lambda_net;
+        let epsilon = self.cfg.epsilon;
+        let leaky_slope = self.cfg.leaky_slope;
         let (eta1, eta2, eta3) = self.cfg.weights;
+        let scale_of = |kind: Kind| match kind {
+            Kind::Domain => eta1 / sets.domain.len().max(1) as f64,
+            Kind::Init => eta2 / sets.init.len().max(1) as f64,
+            Kind::Unsafe => eta3 / sets.unsafe_.len().max(1) as f64,
+        };
+
         let mut last_loss = f64::INFINITY;
         for _ in 0..self.cfg.epochs {
-            let mut tape = Tape::with_capacity(1 << 16);
-            let pvars: Vec<_> = params.iter().map(|&p| tape.input(p)).collect();
-            let (bp, lp) = pvars.split_at(nb);
-            let mut hinge = 0.0f64;
-
-            let mut loss_d = tape.constant(0.0);
-            for ((x, flo), fhi) in sets.domain.iter().zip(&field_lo).zip(&field_hi) {
-                // L_f B = Σ ∂B/∂xᵢ · fᵢ(x, w) at both error extremes; the
-                // robust condition uses the worse one. Single-hidden-layer
-                // networks take the analytic formula-(9) fast path (no
-                // per-sample backward pass on the tape).
-                let (b, lie) = match self
-                    .b_net
-                    .forward_and_lie2_tape(&mut tape, bp, &x[..n], flo, fhi)
-                {
-                    Some((b, lie_lo, lie_hi)) => (b, tape.min(lie_lo, lie_hi)),
-                    None => {
-                        let xv: Vec<_> = x[..n].iter().map(|&v| tape.input(v)).collect();
-                        let b = self.b_net.forward_tape(&mut tape, bp, &xv);
-                        let grad_b = tape.grad(b, &xv);
-                        let mut lie_lo = tape.constant(0.0);
-                        let mut lie_hi = tape.constant(0.0);
-                        for ((g, &fl), &fh) in grad_b.iter().zip(flo).zip(fhi) {
-                            let tl = tape.scale(*g, fl);
-                            lie_lo = tape.add(lie_lo, tl);
-                            let th = tape.scale(*g, fh);
-                            lie_hi = tape.add(lie_hi, th);
+            let params_ref = &params;
+            let run_job = |ji: usize| -> (f64, f64, Vec<f64>) {
+                let (kind, lo, hi) = jobs[ji];
+                let mut tape = Tape::with_capacity(1 << 13);
+                let pvars: Vec<_> = params_ref.iter().map(|&p| tape.input(p)).collect();
+                let (bp, lp) = pvars.split_at(nb);
+                let mut hinge = 0.0f64;
+                let mut loss = tape.constant(0.0);
+                for s in lo..hi {
+                    let arg = match kind {
+                        Kind::Domain => {
+                            let (x, flo, fhi) = (&sets.domain[s], &field_lo[s], &field_hi[s]);
+                            // L_f B = Σ ∂B/∂xᵢ · fᵢ(x, w) at both error
+                            // extremes; the robust condition uses the worse
+                            // one. Single-hidden-layer networks take the
+                            // analytic formula-(9) fast path (no per-sample
+                            // backward pass on the tape).
+                            let (b, lie) = match b_net
+                                .forward_and_lie2_tape(&mut tape, bp, &x[..n], flo, fhi)
+                            {
+                                Some((b, lie_lo, lie_hi)) => (b, tape.min(lie_lo, lie_hi)),
+                                None => {
+                                    let xv: Vec<_> =
+                                        x[..n].iter().map(|&v| tape.input(v)).collect();
+                                    let b = b_net.forward_tape(&mut tape, bp, &xv);
+                                    let grad_b = tape.grad(b, &xv);
+                                    let mut lie_lo = tape.constant(0.0);
+                                    let mut lie_hi = tape.constant(0.0);
+                                    for ((g, &fl), &fh) in grad_b.iter().zip(flo).zip(fhi) {
+                                        let tl = tape.scale(*g, fl);
+                                        lie_lo = tape.add(lie_lo, tl);
+                                        let th = tape.scale(*g, fh);
+                                        lie_hi = tape.add(lie_hi, th);
+                                    }
+                                    (b, tape.min(lie_lo, lie_hi))
+                                }
+                            };
+                            let xv_const: Vec<_> =
+                                x[..n].iter().map(|&v| tape.constant(v)).collect();
+                            let lam = lambda_net.forward_tape(&mut tape, lp, &xv_const);
+                            let lam_b = tape.mul(lam, b);
+                            // Condition (iii): L_f B − λB > 0; penalize
+                            // ε − (L_f B − λB).
+                            let margin = tape.sub(lie, lam_b);
+                            let neg = tape.neg(margin);
+                            tape.add_const(neg, epsilon)
                         }
-                        (b, tape.min(lie_lo, lie_hi))
-                    }
-                };
-                let xv_const: Vec<_> = x[..n].iter().map(|&v| tape.constant(v)).collect();
-                let lam = self.lambda_net.forward_tape(&mut tape, lp, &xv_const);
-                let lam_b = tape.mul(lam, b);
-                // Condition (iii): L_f B − λB > 0; penalize ε − (L_f B − λB).
-                let margin = tape.sub(lie, lam_b);
-                let neg = tape.neg(margin);
-                let arg = tape.add_const(neg, self.cfg.epsilon);
-                hinge += tape.value(arg).max(0.0);
-                let pen = {
-                    // max{ε, ·} saturates once the condition holds with
-                    // margin; clamp the LeakyReLU reward accordingly so the
-                    // optimizer cannot "win" by inflating the scale of B.
-                    let leaky = tape.leaky_relu(arg, self.cfg.leaky_slope);
-                    let floor = tape.constant(-self.cfg.epsilon);
-                    tape.max(leaky, floor)
-                };
-                loss_d = tape.add(loss_d, pen);
-            }
-            let mut loss_i = tape.constant(0.0);
-            for x in &sets.init {
-                let xv: Vec<_> = x[..n].iter().map(|&v| tape.constant(v)).collect();
-                let b = self.b_net.forward_tape(&mut tape, bp, &xv);
-                // Condition (i): B ≥ 0 on Θ; penalize ε − B.
-                let neg = tape.neg(b);
-                let arg = tape.add_const(neg, self.cfg.epsilon);
-                hinge += tape.value(arg).max(0.0);
-                let pen = {
-                    // max{ε, ·} saturates once the condition holds with
-                    // margin; clamp the LeakyReLU reward accordingly so the
-                    // optimizer cannot "win" by inflating the scale of B.
-                    let leaky = tape.leaky_relu(arg, self.cfg.leaky_slope);
-                    let floor = tape.constant(-self.cfg.epsilon);
-                    tape.max(leaky, floor)
-                };
-                loss_i = tape.add(loss_i, pen);
-            }
-            let mut loss_u = tape.constant(0.0);
-            for x in &sets.unsafe_ {
-                let xv: Vec<_> = x[..n].iter().map(|&v| tape.constant(v)).collect();
-                let b = self.b_net.forward_tape(&mut tape, bp, &xv);
-                // Condition (ii): B < 0 on Ξ; penalize ε + B.
-                let arg = tape.add_const(b, self.cfg.epsilon);
-                hinge += tape.value(arg).max(0.0);
-                let pen = {
-                    // max{ε, ·} saturates once the condition holds with
-                    // margin; clamp the LeakyReLU reward accordingly so the
-                    // optimizer cannot "win" by inflating the scale of B.
-                    let leaky = tape.leaky_relu(arg, self.cfg.leaky_slope);
-                    let floor = tape.constant(-self.cfg.epsilon);
-                    tape.max(leaky, floor)
-                };
-                loss_u = tape.add(loss_u, pen);
-            }
-
-            let ld = tape.scale(loss_d, eta1 / sets.domain.len().max(1) as f64);
-            let li = tape.scale(loss_i, eta2 / sets.init.len().max(1) as f64);
-            let lu = tape.scale(loss_u, eta3 / sets.unsafe_.len().max(1) as f64);
-            let partial = tape.add(ld, li);
-            let mut loss = tape.add(partial, lu);
-            if self.cfg.weight_decay > 0.0 {
-                let mut reg = tape.constant(0.0);
-                for &p in &pvars {
-                    let sq = tape.mul(p, p);
-                    reg = tape.add(reg, sq);
+                        Kind::Init => {
+                            let x = &sets.init[s];
+                            let xv: Vec<_> = x[..n].iter().map(|&v| tape.constant(v)).collect();
+                            let b = b_net.forward_tape(&mut tape, bp, &xv);
+                            // Condition (i): B ≥ 0 on Θ; penalize ε − B.
+                            let neg = tape.neg(b);
+                            tape.add_const(neg, epsilon)
+                        }
+                        Kind::Unsafe => {
+                            let x = &sets.unsafe_[s];
+                            let xv: Vec<_> = x[..n].iter().map(|&v| tape.constant(v)).collect();
+                            let b = b_net.forward_tape(&mut tape, bp, &xv);
+                            // Condition (ii): B < 0 on Ξ; penalize ε + B.
+                            tape.add_const(b, epsilon)
+                        }
+                    };
+                    hinge += tape.value(arg).max(0.0);
+                    let pen = {
+                        // max{ε, ·} saturates once the condition holds with
+                        // margin; clamp the LeakyReLU reward accordingly so
+                        // the optimizer cannot "win" by inflating the scale
+                        // of B.
+                        let leaky = tape.leaky_relu(arg, leaky_slope);
+                        let floor = tape.constant(-epsilon);
+                        tape.max(leaky, floor)
+                    };
+                    loss = tape.add(loss, pen);
                 }
-                let reg = tape.scale(reg, self.cfg.weight_decay);
-                loss = tape.add(loss, reg);
+                let grads = tape.grad(loss, &pvars);
+                let g: Vec<f64> = grads.iter().map(|&v| tape.value(v)).collect();
+                (tape.value(loss), hinge, g)
+            };
+            let results = snbc_par::par_map_collect(jobs.len(), run_job);
+
+            // Deterministic index-ordered reduction: job order is fixed by
+            // the chunk grid, so these folds never depend on thread count.
+            let mut hinge = 0.0f64;
+            let mut kind_sums = [0.0f64; 3];
+            let mut g = vec![0.0f64; np];
+            for (ji, (loss_sum, hinge_sum, grad)) in results.iter().enumerate() {
+                let (kind, _, _) = jobs[ji];
+                kind_sums[kind as usize] += loss_sum;
+                hinge += hinge_sum;
+                let scale = scale_of(kind);
+                for (acc, gv) in g.iter_mut().zip(grad) {
+                    *acc += scale * gv;
+                }
             }
-            last_loss = tape.value(loss);
+            let mut loss = kind_sums[Kind::Domain as usize] * scale_of(Kind::Domain)
+                + kind_sums[Kind::Init as usize] * scale_of(Kind::Init)
+                + kind_sums[Kind::Unsafe as usize] * scale_of(Kind::Unsafe);
+            if self.cfg.weight_decay > 0.0 {
+                let mut reg = 0.0f64;
+                for (gi, &p) in g.iter_mut().zip(params.iter()) {
+                    reg += p * p;
+                    // d/dp of wd·Σp² — folded analytically into the reduced
+                    // gradient.
+                    *gi += self.cfg.weight_decay * (p + p);
+                }
+                loss += self.cfg.weight_decay * reg;
+            }
+            #[cfg(feature = "sanitize")]
+            snbc_linalg::sanitize::check_finite("learner reduced gradient", &g);
+            last_loss = loss;
             epochs_run += 1;
             // Early stop on the *per-sample* hinge mass (the LeakyReLU
             // surrogate can go negative once all conditions hold with margin,
@@ -326,8 +383,6 @@ impl Learner {
             if hinge / (sets.len().max(1) as f64) < self.cfg.loss_target {
                 break;
             }
-            let grads = tape.grad(loss, &pvars);
-            let g: Vec<f64> = grads.iter().map(|&v| tape.value(v)).collect();
             self.optimizer.step(&mut params, &g);
             adam_steps += 1;
         }

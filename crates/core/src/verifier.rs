@@ -124,33 +124,54 @@ impl<'a> Verifier<'a> {
     /// more counterexamples.
     pub fn verify(&self, b: &Polynomial) -> VerificationOutcome {
         // The SDP solver's telemetry doubles as the verifier's sink: the
-        // "init"/"unsafe"/"flow" spans opened here enclose the nested "sdp"
-        // spans the instrumented solver emits for each ladder rung.
+        // "init"/"unsafe"/"flow" spans enclose the nested "sdp" spans the
+        // instrumented solver emits for each ladder rung. The three LMIs
+        // decouple (§4.2), so each condition gets a forked branch sink and
+        // its own solve; the forks are adopted back in fixed order after the
+        // join, making the span tree identical at any thread count.
         let t = &self.cfg.solver.telemetry;
         let _span = t.span("verify");
-        let init = {
-            let _s = t.span("init");
-            let r = self.check_init(b);
-            record_subproblem(t, &r);
-            r
-        };
-        let unsafe_ = {
-            let _s = t.span("unsafe");
-            let r = self.check_unsafe(b);
-            record_subproblem(t, &r);
-            r
-        };
-        let flow = {
-            let _s = t.span("flow");
-            let r = self.check_flow(b);
-            record_subproblem(t, &r);
-            r
-        };
+        if t.is_recording() {
+            t.label("workers", &snbc_par::threads().min(3).to_string());
+        }
+        let (ti, tu, tf) = (t.fork(), t.fork(), t.fork());
+        let (vi, vu, vf) = (self.with_sink(&ti), self.with_sink(&tu), self.with_sink(&tf));
+        let (init, unsafe_, flow) = snbc_par::join3(
+            || {
+                let _s = ti.span("init");
+                let r = vi.check_init(b);
+                record_subproblem(&ti, &r);
+                r
+            },
+            || {
+                let _s = tu.span("unsafe");
+                let r = vu.check_unsafe(b);
+                record_subproblem(&tu, &r);
+                r
+            },
+            || {
+                let _s = tf.span("flow");
+                let r = vf.check_flow(b);
+                record_subproblem(&tf, &r);
+                r
+            },
+        );
+        t.adopt(&ti);
+        t.adopt(&tu);
+        t.adopt(&tf);
         VerificationOutcome {
             init,
             unsafe_,
             flow,
         }
+    }
+
+    /// A clone of this verifier whose solver records into `sink` (the
+    /// branch-local fork used by the parallel [`Verifier::verify`]).
+    fn with_sink(&self, sink: &snbc_telemetry::Telemetry) -> Verifier<'a> {
+        let mut v = self.clone();
+        v.cfg.solver.telemetry = sink.clone();
+        v
     }
 
     /// The multiplier-degree escalation ladder: scalar S-procedure
@@ -435,29 +456,47 @@ pub fn verify_multi(
     );
     let t = cfg.solver.telemetry.clone();
     let _span = t.span("verify");
+    if t.is_recording() {
+        t.label("workers", &snbc_par::threads().min(3).to_string());
+    }
     // Conditions (13) and (14) are channel-independent: reuse the scalar
-    // verifier with a dummy inclusion.
-    let scalar = Verifier::new(system, &inclusions[0], cfg.clone());
-    let init = {
-        let _s = t.span("init");
-        let r = scalar.check_init(b);
-        record_subproblem(&t, &r);
-        r
+    // verifier with a dummy inclusion. As in the scalar path, each condition
+    // solves on a forked branch sink and the forks are adopted back in fixed
+    // order after the join.
+    let cfg_with = |sink: &snbc_telemetry::Telemetry| {
+        let mut c = cfg.clone();
+        c.solver.telemetry = sink.clone();
+        c
     };
-    let unsafe_ = {
-        let _s = t.span("unsafe");
-        let r = scalar.check_unsafe(b);
-        record_subproblem(&t, &r);
-        r
-    };
-
-    // Flow (15) over (x, w₁ … w_m) — shared with the scalar path.
-    let flow = {
-        let _s = t.span("flow");
-        let r = check_flow_channels(system, inclusions, b, cfg, &scalar.degree_ladder());
-        record_subproblem(&t, &r);
-        r
-    };
+    let (ti, tu, tf) = (t.fork(), t.fork(), t.fork());
+    let scalar_i = Verifier::new(system, &inclusions[0], cfg_with(&ti));
+    let scalar_u = Verifier::new(system, &inclusions[0], cfg_with(&tu));
+    let cfg_f = cfg_with(&tf);
+    let ladder = scalar_i.degree_ladder();
+    let (init, unsafe_, flow) = snbc_par::join3(
+        || {
+            let _s = ti.span("init");
+            let r = scalar_i.check_init(b);
+            record_subproblem(&ti, &r);
+            r
+        },
+        || {
+            let _s = tu.span("unsafe");
+            let r = scalar_u.check_unsafe(b);
+            record_subproblem(&tu, &r);
+            r
+        },
+        // Flow (15) over (x, w₁ … w_m) — shared with the scalar path.
+        || {
+            let _s = tf.span("flow");
+            let r = check_flow_channels(system, inclusions, b, &cfg_f, &ladder);
+            record_subproblem(&tf, &r);
+            r
+        },
+    );
+    t.adopt(&ti);
+    t.adopt(&tu);
+    t.adopt(&tf);
     VerificationOutcome { init, unsafe_, flow }
 }
 

@@ -218,6 +218,38 @@ impl Matrix {
         out
     }
 
+    /// `self · other` written into `out` (which must already have the
+    /// product's shape). Same accumulation order as [`Matrix::matmul`], so
+    /// the two are bitwise interchangeable; this variant lets hot loops
+    /// (e.g. the per-row Schur assembly scratch buffers) avoid allocating.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                // Sparse-coefficient skip; exactness is intended.
+                if aik == 0.0 { // audit:allow(float-eq)
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+    }
+
     /// Scales every entry by `s`, returning a new matrix.
     pub fn scale(&self, s: f64) -> Matrix {
         let mut out = self.clone();

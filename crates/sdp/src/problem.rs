@@ -230,11 +230,11 @@ pub(crate) fn entries_dot(entries: &[Entry], x: &BlockMatrix) -> f64 {
     acc
 }
 
-/// `A·X` for a sparse symmetric `A` (entries) restricted to one dense block:
-/// returns the dense product matrix. Helper for the Schur complement assembly.
-pub(crate) fn sparse_times_dense(entries: &[Entry], block: usize, x: &Matrix) -> Matrix {
-    let n = x.nrows();
-    let mut out = Matrix::zeros(n, n);
+/// `A·X` for a sparse symmetric `A` (entries) restricted to one dense block,
+/// written into a caller-provided `n×n` buffer (zeroed here) so per-worker
+/// scratch can be reused across Schur complement rows.
+pub(crate) fn sparse_times_dense_into(entries: &[Entry], block: usize, x: &Matrix, out: &mut Matrix) {
+    out.as_mut_slice().fill(0.0);
     for e in entries.iter().filter(|e| e.block == block) {
         // A has value v at (row, col) and (col, row).
         let v = e.value;
@@ -253,7 +253,6 @@ pub(crate) fn sparse_times_dense(entries: &[Entry], block: usize, x: &Matrix) ->
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -317,7 +316,8 @@ mod tests {
             value: 2.0,
         }];
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        let prod = sparse_times_dense(&entries, 0, &x);
+        let mut prod = Matrix::zeros(2, 2);
+        sparse_times_dense_into(&entries, 0, &x, &mut prod);
         // A = [[0,2],[2,0]]; A·X = [[6,8],[2,4]].
         assert_eq!(prod[(0, 0)], 6.0);
         assert_eq!(prod[(0, 1)], 8.0);

@@ -1,6 +1,6 @@
 use snbc_linalg::{vec_ops, Cholesky, Matrix};
 
-use crate::problem::{entries_dot, sparse_times_dense};
+use crate::problem::{entries_dot, sparse_times_dense_into};
 use crate::{Block, BlockMatrix, SdpError, SdpProblem};
 
 /// Termination status of an SDP solve.
@@ -128,6 +128,7 @@ impl SdpSolver {
         let mut cholesky_count: usize = 0;
         let result = self.solve_inner(problem, &mut cholesky_count);
         if self.telemetry.is_recording() {
+            self.telemetry.label("workers", &snbc_par::threads().to_string());
             self.telemetry.add("cholesky", cholesky_count as u64);
             match &result {
                 Ok(sol) => {
@@ -342,42 +343,53 @@ impl SdpSolver {
         z: &BlockMatrix,
         cholesky_count: &mut usize,
     ) -> Result<Vec<Scaling>, SdpError> {
-        let mut out = Vec::with_capacity(x.num_blocks());
-        for (xb, zb) in x.blocks().iter().zip(z.blocks()) {
-            match (xb, zb) {
+        // One independent Cholesky pair per dense block, dealt across the
+        // pool; results land by block index, so parallel == serial bitwise.
+        let xbs = x.blocks();
+        let zbs = z.blocks();
+        let factored = snbc_par::par_map_collect(xbs.len(), |j| {
+            let mut count = 0usize;
+            let scaling = match (&xbs[j], &zbs[j]) {
                 (Block::Dense(xm), Block::Dense(zm)) => {
-                    *cholesky_count += 1;
+                    count += 1;
                     let z_chol = zm.cholesky().or_else(|_| {
                         // Tiny perturbation rescue.
                         let mut p = zm.clone();
                         for i in 0..p.nrows() {
                             p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
                         }
-                        *cholesky_count += 1;
+                        count += 1;
                         p.cholesky()
                     })?;
-                    *cholesky_count += 1;
+                    count += 1;
                     let x_chol = xm.cholesky().or_else(|_| {
                         let mut p = xm.clone();
                         for i in 0..p.nrows() {
                             p[(i, i)] += 1e-12 * (1.0 + p[(i, i)].abs());
                         }
-                        *cholesky_count += 1;
+                        count += 1;
                         p.cholesky()
                     })?;
-                    out.push(Scaling::Dense {
+                    Scaling::Dense {
                         zinv: z_chol.inverse(),
                         x: xm.clone(),
                         x_chol,
                         z_chol,
-                    });
+                    }
                 }
-                (Block::Diag(xd), Block::Diag(zd)) => out.push(Scaling::Diag {
+                (Block::Diag(xd), Block::Diag(zd)) => Scaling::Diag {
                     x: xd.clone(),
                     z: zd.clone(),
-                }),
+                },
                 _ => return Err(SdpError::BlockMismatch { op: "factor_blocks" }),
-            }
+            };
+            Ok::<(Scaling, usize), SdpError>((scaling, count))
+        });
+        let mut out = Vec::with_capacity(factored.len());
+        for r in factored {
+            let (scaling, count) = r?;
+            *cholesky_count += count;
+            out.push(scaling);
         }
         Ok(out)
     }
@@ -392,74 +404,101 @@ impl SdpSolver {
         cholesky_count: &mut usize,
     ) -> Result<Cholesky, SdpError> {
         let mut big_m = Matrix::zeros(m, m);
-        // Dense blocks: one row of M at a time via U_k = Z⁻¹·(A_k·X), so only
-        // a single n×n product is alive at once (the full per-block cache
-        // would be O(m·n²) memory — hundreds of MB for the large joint
-        // programs).
+        // Serial precompute of what the parallel row loop reads for diagonal
+        // blocks: `d = x/z` plus the index-grouped coalesced coefficients
+        // (`per_index[i]` = constraints touching diagonal index `i` with
+        // a_ki the *sum* of that constraint's entry values there, ascending
+        // in constraint; `per_constraint[k]` = the transpose view, ascending
+        // in `i`). This keeps the assembly O(Σᵢ cᵢ²) instead of O(m²·nnz),
+        // which matters when a scalar free variable (e.g. a barrier
+        // coefficient) appears in hundreds of constraints.
+        struct DiagPre {
+            d: Vec<f64>,
+            per_index: Vec<Vec<(usize, f64)>>,
+            per_constraint: Vec<Vec<(usize, f64)>>,
+        }
+        let mut diag: Vec<Option<DiagPre>> = Vec::with_capacity(scalings.len());
         for (j, scaling) in scalings.iter().enumerate() {
-            match scaling {
-                Scaling::Dense { zinv, x, .. } => {
-                    for k in 0..m {
-                        let entries = problem.constraint_entries(k);
-                        if entries.iter().all(|e| e.block != j) {
-                            continue;
-                        }
-                        let ax = sparse_times_dense(entries, j, x);
-                        let uk = zinv.matmul(&ax);
-                        for l in k..m {
-                            let entries_l = problem.constraint_entries(l);
-                            let mut acc = 0.0;
-                            for e in entries_l.iter().filter(|e| e.block == j) {
-                                // tr(A_l · U_k) with A_l symmetric-sparse.
-                                if e.row == e.col {
-                                    acc += e.value * uk[(e.row, e.col)];
-                                } else {
-                                    acc += e.value * (uk[(e.row, e.col)] + uk[(e.col, e.row)]);
-                                }
-                            }
-                            big_m[(k, l)] += acc;
-                        }
-                    }
-                }
-                Scaling::Diag { x, z } => {
-                    // M_kl += Σᵢ a_k[i]·a_l[i]·xᵢ/zᵢ. Assembled index-wise:
-                    // group the (constraint, value) pairs per diagonal index
-                    // and accumulate each group's outer product — O(Σᵢ cᵢ²)
-                    // instead of O(m²·nnz), which matters when a scalar free
-                    // variable (e.g. a barrier coefficient) appears in
-                    // hundreds of constraints.
-                    let d: Vec<f64> = x.iter().zip(z).map(|(xi, zi)| xi / zi).collect();
-                    let mut per_index: Vec<Vec<(usize, f64)>> = vec![Vec::new(); d.len()];
-                    for k in 0..m {
-                        for e in problem
-                            .constraint_entries(k)
-                            .iter()
-                            .filter(|e| e.block == j)
-                        {
-                            per_index[e.row].push((k, e.value));
-                        }
-                    }
-                    for (i, group) in per_index.iter().enumerate() {
-                        // Coalesce repeated entries of the same constraint at
-                        // this index (a_ki is the *sum* of its entry values).
-                        let mut coalesced: Vec<(usize, f64)> = Vec::with_capacity(group.len());
-                        for &(k, v) in group {
-                            match coalesced.iter_mut().find(|(ck, _)| *ck == k) {
-                                Some((_, cv)) => *cv += v,
-                                None => coalesced.push((k, v)),
-                            }
-                        }
-                        let di = d[i];
-                        for (a, &(k, vk)) in coalesced.iter().enumerate() {
-                            for &(l, vl) in &coalesced[a..] {
-                                let (k, l) = if k <= l { (k, l) } else { (l, k) };
-                                big_m[(k, l)] += vk * vl * di;
-                            }
-                        }
+            let Scaling::Diag { x, z } = scaling else {
+                diag.push(None);
+                continue;
+            };
+            let d: Vec<f64> = x.iter().zip(z).map(|(xi, zi)| xi / zi).collect();
+            let mut per_index: Vec<Vec<(usize, f64)>> = vec![Vec::new(); d.len()];
+            for k in 0..m {
+                for e in problem.constraint_entries(k).iter().filter(|e| e.block == j) {
+                    match per_index[e.row].iter_mut().find(|(ck, _)| *ck == k) {
+                        Some((_, cv)) => *cv += e.value,
+                        None => per_index[e.row].push((k, e.value)),
                     }
                 }
             }
+            let mut per_constraint: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+            for (i, group) in per_index.iter().enumerate() {
+                for &(k, v) in group {
+                    per_constraint[k].push((i, v));
+                }
+            }
+            diag.push(Some(DiagPre { d, per_index, per_constraint }));
         }
+        // Row-parallel assembly: each worker owns a disjoint run of rows of
+        // the row-major `M`. For dense blocks, a row needs only
+        // `U_k = Z⁻¹·(A_k·X)` — a single n×n product alive at once (the full
+        // per-block cache would be O(m·n²) memory — hundreds of MB for the
+        // large joint programs) — held in per-worker scratch so the
+        // interior-point iterations do not allocate per row. Per-cell
+        // accumulation runs blocks-ascending then indices-ascending, exactly
+        // the serial order: the assembled matrix is bitwise identical at any
+        // thread count.
+        snbc_par::par_for_chunks_scratch(
+            big_m.as_mut_slice(),
+            m,
+            || vec![None::<(Matrix, Matrix)>; scalings.len()],
+            |scratch, k, row| {
+                let entries_k = problem.constraint_entries(k);
+                for (j, scaling) in scalings.iter().enumerate() {
+                    match scaling {
+                        Scaling::Dense { zinv, x, .. } => {
+                            if entries_k.iter().all(|e| e.block != j) {
+                                continue;
+                            }
+                            let n = zinv.nrows();
+                            let (ax, uk) = scratch[j]
+                                .get_or_insert_with(|| (Matrix::zeros(n, n), Matrix::zeros(n, n)));
+                            sparse_times_dense_into(entries_k, j, x, ax);
+                            zinv.matmul_into(ax, uk);
+                            for l in k..m {
+                                let entries_l = problem.constraint_entries(l);
+                                let mut acc = 0.0;
+                                for e in entries_l.iter().filter(|e| e.block == j) {
+                                    // tr(A_l · U_k) with A_l symmetric-sparse.
+                                    if e.row == e.col {
+                                        acc += e.value * uk[(e.row, e.col)];
+                                    } else {
+                                        acc += e.value * (uk[(e.row, e.col)] + uk[(e.col, e.row)]);
+                                    }
+                                }
+                                row[l] += acc;
+                            }
+                        }
+                        Scaling::Diag { .. } => {
+                            // M_kl += Σᵢ a_k[i]·a_l[i]·xᵢ/zᵢ, i ascending.
+                            // Populated above for every Diag block by construction.
+                            // audit:allow(panicking)
+                            let pre = diag[j].as_ref().expect("diag precompute");
+                            for &(i, aki) in &pre.per_constraint[k] {
+                                let di = pre.d[i];
+                                for &(l, ali) in &pre.per_index[i] {
+                                    if l >= k {
+                                        row[l] += aki * ali * di;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
         // Symmetrize (HKM's Schur matrix is only approximately symmetric) and
         // regularize.
         for k in 0..m {

@@ -63,6 +63,9 @@ struct SpanSlot {
     gauges: Vec<(&'static str, f64)>,
     labels: Vec<(&'static str, String)>,
     children: Vec<usize>,
+    /// Finished subtrees adopted from forked recorders (see
+    /// [`Telemetry::fork`]); rendered after the locally recorded children.
+    grafted: Vec<SpanNode>,
 }
 
 impl SpanSlot {
@@ -76,6 +79,7 @@ impl SpanSlot {
             gauges: Vec::new(),
             labels: Vec::new(),
             children: Vec::new(),
+            grafted: Vec::new(),
         }
     }
 }
@@ -163,6 +167,12 @@ impl Recorder {
         }
     }
 
+    fn graft(&self, subtrees: Vec<SpanNode>) {
+        let Ok(mut g) = self.inner.lock() else { return };
+        let top = g.stack.last().copied().unwrap_or(0);
+        g.spans[top].grafted.extend(subtrees);
+    }
+
     fn snapshot(&self) -> Option<Report> {
         let g = self.inner.lock().ok()?;
         let now = Instant::now();
@@ -171,6 +181,9 @@ impl Recorder {
             let elapsed = s
                 .elapsed
                 .unwrap_or_else(|| now.duration_since(s.started));
+            let mut children: Vec<SpanNode> =
+                s.children.iter().map(|&c| build(g, c, now)).collect();
+            children.extend(s.grafted.iter().cloned());
             SpanNode {
                 name: s.name.to_string(),
                 index: s.index,
@@ -182,7 +195,7 @@ impl Recorder {
                     .iter()
                     .map(|(n, v)| (n.to_string(), v.clone()))
                     .collect(),
-                children: s.children.iter().map(|&c| build(g, c, now)).collect(),
+                children,
             }
         }
         Some(Report {
@@ -277,6 +290,34 @@ impl Telemetry {
     pub fn label(&self, name: &'static str, value: &str) {
         if let Some(r) = &self.rec {
             r.label(name, value);
+        }
+    }
+
+    /// A branch sink for structured parallelism: recording handles fork a
+    /// **fresh, independent** recorder (off handles fork off).
+    ///
+    /// The recorder behind a handle keeps a single innermost-open-span
+    /// stack, so concurrent `span()` calls from several threads would
+    /// interleave into a nonsense tree. Parallel regions instead give each
+    /// branch its own fork, record into it, and [`Telemetry::adopt`] the
+    /// forks back **in a fixed order** once the branches have joined — the
+    /// resulting tree is then identical at any thread count. Fork/adopt is
+    /// used even on the serial path so one- and many-threaded runs produce
+    /// byte-identical reports.
+    pub fn fork(&self) -> Telemetry {
+        if self.rec.is_some() {
+            Telemetry::recording()
+        } else {
+            Telemetry::off()
+        }
+    }
+
+    /// Adopts a fork's finished spans as children of the innermost open
+    /// span. Metrics recorded on the fork's root (outside any span) are
+    /// dropped; branches should open a span first.
+    pub fn adopt(&self, fork: &Telemetry) {
+        if let (Some(r), Some(rep)) = (self.rec.as_ref(), fork.report()) {
+            r.graft(rep.root.children);
         }
     }
 
@@ -392,6 +433,40 @@ mod tests {
         assert_eq!(rep.root.counter("stray"), Some(1));
         let outer = rep.root.child("outer").unwrap();
         assert!(outer.child("inner").unwrap().elapsed_s <= outer.elapsed_s);
+    }
+
+    #[test]
+    fn fork_adopt_grafts_finished_subtrees_in_adopt_order() {
+        let t = Telemetry::recording();
+        let verify = t.span("verify");
+        let (fi, fu) = (t.fork(), t.fork());
+        {
+            let _s = fi.span("init");
+            fi.gauge("margin", 0.5);
+            let _sdp = fi.span("sdp");
+            fi.add("iterations", 11);
+        }
+        {
+            let _s = fu.span("unsafe");
+            fu.gauge("margin", 0.25);
+        }
+        // Adopt in fixed order regardless of branch completion order.
+        t.adopt(&fi);
+        t.adopt(&fu);
+        drop(verify);
+        let rep = t.report().unwrap();
+        let v = rep.root.child("verify").unwrap();
+        assert_eq!(v.children.len(), 2);
+        assert_eq!(v.children[0].name, "init");
+        assert_eq!(v.children[1].name, "unsafe");
+        assert_eq!(v.children[0].child("sdp").unwrap().counter("iterations"), Some(11));
+        // Grafted trees survive the JSON round-trip like native spans.
+        let json = rep.to_json_string();
+        assert_eq!(Report::parse(&json).unwrap(), rep);
+        // Off sinks fork off sinks; adopt is a no-op everywhere.
+        let off = Telemetry::off();
+        assert!(!off.fork().is_recording());
+        off.adopt(&t);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Determinism contract of the `snbc-par` runtime (docs/PARALLELISM.md):
+//! the synthesized certificate and the telemetry round structure must be
+//! bitwise identical no matter how many worker threads execute the SDP
+//! assembly, the learner batches, and the counterexample restarts.
+
+use snbc::{Snbc, SnbcConfig, SnbcResult};
+use snbc_dynamics::benchmarks;
+use snbc_nn::{train_controller, ControllerTraining, Mlp};
+use snbc_telemetry::{Report, Telemetry};
+
+fn synthesize_with_threads(controller: &Mlp, threads: usize) -> (SnbcResult, Report) {
+    // The env var is the documented user-facing knob; set it (rather than the
+    // programmatic override) so the test exercises the same path as
+    // `SNBC_THREADS=4 cargo run`.
+    std::env::set_var("SNBC_THREADS", threads.to_string());
+    let bench = benchmarks::benchmark(3);
+    let telemetry = Telemetry::recording();
+    let result = Snbc::new(SnbcConfig::default())
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, controller)
+        .unwrap_or_else(|e| panic!("synthesis failed at SNBC_THREADS={threads}: {e}"));
+    let report = telemetry.report().expect("recording sink yields a report");
+    std::env::remove_var("SNBC_THREADS");
+    (result, report)
+}
+
+#[test]
+fn synthesis_is_bitwise_identical_across_thread_counts() {
+    let bench = benchmarks::benchmark(3);
+    let controller = train_controller(
+        bench.system.domain().bounding_box(),
+        bench.target_law,
+        &ControllerTraining::default(),
+    );
+
+    let (serial, serial_report) = synthesize_with_threads(&controller, 1);
+    let (parallel, parallel_report) = synthesize_with_threads(&controller, 4);
+
+    // Same CEGIS trajectory: identical round count on both sinks.
+    assert_eq!(serial.iterations, parallel.iterations);
+    assert_eq!(
+        serial_report.rounds().len(),
+        parallel_report.rounds().len(),
+        "telemetry disagrees on the number of CEGIS rounds"
+    );
+
+    // Same certificate, bit for bit: Polynomial equality compares exact f64
+    // coefficients, and the rendered forms must agree too.
+    assert_eq!(serial.barrier, parallel.barrier, "barrier coefficients differ");
+    assert_eq!(serial.lambda, parallel.lambda, "multiplier coefficients differ");
+    assert_eq!(serial.barrier.to_string(), parallel.barrier.to_string());
+    assert_eq!(serial.lambda.to_string(), parallel.lambda.to_string());
+
+    // Same abstraction and margins (the whole verification record is data
+    // computed from the certificate; spot-check the floats that summarize it).
+    assert_eq!(
+        serial.inclusion.sigma_star.to_bits(),
+        parallel.inclusion.sigma_star.to_bits()
+    );
+    assert_eq!(
+        serial.verification.init.margin.to_bits(),
+        parallel.verification.init.margin.to_bits()
+    );
+    assert_eq!(
+        serial.verification.unsafe_.margin.to_bits(),
+        parallel.verification.unsafe_.margin.to_bits()
+    );
+    assert_eq!(
+        serial.verification.flow.margin.to_bits(),
+        parallel.verification.flow.margin.to_bits()
+    );
+}
