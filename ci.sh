@@ -23,9 +23,21 @@ cargo test -q --workspace
 echo "==> cargo test -q (workspace, SNBC_THREADS=1 — guaranteed-serial leg)"
 SNBC_THREADS=1 cargo test -q --workspace
 
-echo "==> cargo test -q --features sanitize (solver + SOS + par crates)"
+echo "==> cargo test -q --features sanitize (solver + SOS + par + trace crates)"
 cargo test -q -p snbc-linalg -p snbc-lp -p snbc-sdp --features snbc-linalg/sanitize
 cargo test -q -p snbc-sos --features sanitize
 cargo test -q -p snbc-par --features sanitize
+cargo test -q -p snbc-trace --features sanitize
+
+echo "==> snbc-bench check (run-report regression gate, strict then loose)"
+SNBC_THREADS=1 cargo run -q --release -p snbc-bench --bin snbc-bench -- check
+SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check
+
+echo "==> snbc synth --trace smoke (Perfetto export)"
+trace_tmp="$(mktemp -d)"
+target/release/snbc example > "$trace_tmp/plant.sys"
+target/release/snbc synth "$trace_tmp/plant.sys" --trace "$trace_tmp/trace.json" > /dev/null
+grep -q '"schema":"snbc-trace/1"' "$trace_tmp/trace.json"
+rm -rf "$trace_tmp"
 
 echo "CI OK"

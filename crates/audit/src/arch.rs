@@ -3,7 +3,8 @@
 //! (`rand`, `proptest`, `criterion`, `serde`) may appear.
 //!
 //! The DAG encoded here is the one DESIGN.md §"Workspace inventory" draws
-//! (bottom-up): `telemetry` and `par` are leaves usable from any layer;
+//! (bottom-up): `trace` is the bottom-most leaf; `telemetry` and `par` sit
+//! just above it and are usable from any layer;
 //! `linalg` → {`lp`, `sdp`} → `sos`; `poly` → {`sos`, `interval`, `nn`,
 //! `dynamics`}; `autodiff` → `nn`;
 //! {`sos`,`interval`,`nn`,`dynamics`} → `core` → `baselines` → `bench`.
@@ -19,7 +20,16 @@ pub const SANCTIONED_EXTERNAL: &[&str] = &["rand", "proptest", "criterion", "ser
 /// Allowed *internal* dependencies per crate directory name.
 pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const FOUNDATION: &[&str] = &[];
-    const SOLVER_CORE: &[&str] = &["snbc-linalg", "snbc-telemetry", "snbc-par"];
+    // `trace` is the bottom-most observability crate; `telemetry` mirrors its
+    // spans into an attached trace sink and `par` labels worker threads.
+    const OBSERVABILITY: &[&str] = &["snbc-trace"];
+    const SOLVER_CORE: &[&str] = &[
+        "snbc-linalg",
+        "snbc-trace",
+        "snbc-trace",
+        "snbc-telemetry",
+        "snbc-par",
+    ];
     const SOS: &[&str] = &["snbc-linalg", "snbc-poly", "snbc-lp", "snbc-sdp"];
     const INTERVAL: &[&str] = &["snbc-linalg", "snbc-poly"];
     const NN: &[&str] = &[
@@ -30,6 +40,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
     const DYNAMICS: &[&str] = &["snbc-linalg", "snbc-poly"];
     const CORE: &[&str] = &[
+        "snbc-trace",
         "snbc-telemetry",
         "snbc-par",
         "snbc-linalg",
@@ -43,6 +54,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-dynamics",
     ];
     const BASELINES: &[&str] = &[
+        "snbc-trace",
         "snbc-telemetry",
         "snbc-par",
         "snbc-linalg",
@@ -57,6 +69,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc",
     ];
     const BENCH: &[&str] = &[
+        "snbc-trace",
         "snbc-telemetry",
         "snbc-par",
         "snbc-linalg",
@@ -72,6 +85,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-baselines",
     ];
     const CLI: &[&str] = &[
+        "snbc-trace",
         "snbc-telemetry",
         "snbc-par",
         "snbc-linalg",
@@ -88,7 +102,8 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     ];
 
     Some(match crate_dir {
-        "linalg" | "poly" | "autodiff" | "audit" | "telemetry" | "par" => FOUNDATION,
+        "linalg" | "poly" | "autodiff" | "audit" | "trace" => FOUNDATION,
+        "telemetry" | "par" => OBSERVABILITY,
         "lp" | "sdp" => SOLVER_CORE,
         "sos" => SOS,
         "interval" => INTERVAL,

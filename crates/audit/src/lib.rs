@@ -37,6 +37,12 @@ pub const SOLVER_CRATES: &[&str] = &["linalg", "lp", "sdp", "sos", "interval"];
 /// else must route parallelism through `snbc-par` (`raw-thread` rule).
 pub const THREAD_OWNER_CRATES: &[&str] = &["par", "telemetry"];
 
+/// Crates allowed to call `Instant::now()` directly: the trace clock itself
+/// plus the observability crates that wrap it. Everything else must time
+/// through `snbc_trace::Stopwatch` / `snbc_trace::now_us` so all timings sit
+/// on the single trace epoch (`raw-instant` rule).
+pub const INSTANT_OWNER_CRATES: &[&str] = &["trace", "telemetry", "par"];
+
 /// Configuration for a workspace audit run.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
@@ -90,6 +96,7 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
         let opts = ScanOptions {
             check_panicking: SOLVER_CRATES.contains(&crate_name.as_str()),
             check_raw_thread: !THREAD_OWNER_CRATES.contains(&crate_name.as_str()),
+            check_raw_instant: !INSTANT_OWNER_CRATES.contains(&crate_name.as_str()),
         };
         let mut sources = Vec::new();
         collect_rs_files(&src_dir, &mut sources)?;
@@ -116,6 +123,7 @@ pub fn render_findings(findings: &[Finding]) -> String {
         Rule::FloatEq,
         Rule::LossyCast,
         Rule::RawThread,
+        Rule::RawInstant,
     ] {
         let of_rule: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
         if of_rule.is_empty() {

@@ -8,6 +8,7 @@
 //! | `panicking` | `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in solver-crate library code |
 //! | `lossy-cast` | `as` casts to a numeric type narrower than 64 bits (`f32`, `i8..i32`, `u8..u32`) |
 //! | `raw-thread` | `thread::spawn` outside `crates/par` / `crates/telemetry` — use `snbc-par` so determinism and panic propagation are centralized |
+//! | `raw-instant` | `Instant::now` outside `crates/trace` / `crates/telemetry` / `crates/par` — use `snbc_trace::Stopwatch` / `now_us` so every timestamp shares the trace clock |
 //!
 //! All rules skip `#[cfg(test)]` / `#[test]` items: test code is allowed to
 //! unwrap and compare exactly. Suppressions apply on the finding's line or the
@@ -23,6 +24,7 @@ pub enum Rule {
     Panicking,
     LossyCast,
     RawThread,
+    RawInstant,
     Arch,
 }
 
@@ -33,6 +35,7 @@ impl Rule {
             Rule::Panicking => "panicking",
             Rule::LossyCast => "lossy-cast",
             Rule::RawThread => "raw-thread",
+            Rule::RawInstant => "raw-instant",
             Rule::Arch => "arch",
         }
     }
@@ -43,6 +46,7 @@ impl Rule {
             "panicking" => Some(Rule::Panicking),
             "lossy-cast" => Some(Rule::LossyCast),
             "raw-thread" => Some(Rule::RawThread),
+            "raw-instant" => Some(Rule::RawInstant),
             "arch" => Some(Rule::Arch),
             _ => None,
         }
@@ -82,6 +86,9 @@ pub struct ScanOptions {
     /// Apply the `raw-thread` rule (every crate except `par` and
     /// `telemetry`, which own the sanctioned threading primitives).
     pub check_raw_thread: bool,
+    /// Apply the `raw-instant` rule (every crate except `trace`,
+    /// `telemetry`, and `par`, which own the sanctioned clocks).
+    pub check_raw_instant: bool,
 }
 
 /// Scan one source file and return its (unsuppressed) findings.
@@ -132,6 +139,21 @@ pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding>
                     message: "raw `thread::spawn` — route parallelism through `snbc-par` \
                               (deterministic reduction + panic propagation) or annotate \
                               audit:allow(raw-thread)"
+                        .to_string(),
+                });
+            }
+            TokenKind::Ident
+                if opts.check_raw_instant
+                    && tok.text == "Instant"
+                    && raw_instant_now(&lexed.tokens, i) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::RawInstant,
+                    file: rel_path.to_string(),
+                    line: tok.line,
+                    message: "raw `Instant::now` — use `snbc_trace::Stopwatch` (or \
+                              `snbc_trace::now_us`) so timings share the trace clock, or \
+                              annotate audit:allow(raw-instant)"
                         .to_string(),
                 });
             }
@@ -192,6 +214,13 @@ fn is_narrow_numeric(ty: &str) -> bool {
 fn raw_thread_spawn(tokens: &[Token], i: usize) -> bool {
     matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "::")
         && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == "spawn")
+}
+
+/// True when tokens at `i` spell `Instant :: now` (covers `Instant::now()`
+/// and `std::time::Instant::now()`).
+fn raw_instant_now(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "::")
+        && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == "now")
 }
 
 /// Recognize panicking constructs at token `i`.
@@ -296,9 +325,21 @@ fn is_test_attr(attr: &[&str]) -> bool {
 mod tests {
     use super::*;
 
-    const LIB: ScanOptions = ScanOptions { check_panicking: true, check_raw_thread: true };
-    const NON_SOLVER: ScanOptions = ScanOptions { check_panicking: false, check_raw_thread: true };
-    const THREAD_OWNER: ScanOptions = ScanOptions { check_panicking: false, check_raw_thread: false };
+    const LIB: ScanOptions = ScanOptions {
+        check_panicking: true,
+        check_raw_thread: true,
+        check_raw_instant: true,
+    };
+    const NON_SOLVER: ScanOptions = ScanOptions {
+        check_panicking: false,
+        check_raw_thread: true,
+        check_raw_instant: true,
+    };
+    const THREAD_OWNER: ScanOptions = ScanOptions {
+        check_panicking: false,
+        check_raw_thread: false,
+        check_raw_instant: false,
+    };
 
     #[test]
     fn flags_exact_float_comparisons() {
@@ -399,6 +440,28 @@ mod tests {
         assert!(scan_source("a.rs", scoped, NON_SOLVER).is_empty());
         let raw = "fn f() { std::thread::spawn(|| {}); }";
         assert!(scan_source("a.rs", raw, THREAD_OWNER).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_instant_now() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\nfn g() { let t = Instant::now(); }\n";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::RawInstant));
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn instant_in_clock_owner_crates_is_fine() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(scan_source("a.rs", src, THREAD_OWNER).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_suppression_works() {
+        let src = "// audit:allow(raw-instant)\nfn f() { let t = Instant::now(); }";
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@ const CLEAN: &str = include_str!("fixtures/clean.rs");
 const SOLVER_OPTS: ScanOptions = ScanOptions {
     check_panicking: true,
     check_raw_thread: true,
+    check_raw_instant: true,
 };
 
 fn hits(src: &str, opts: ScanOptions) -> Vec<(Rule, usize)> {

@@ -8,7 +8,9 @@
 //! sensitivity to the state dimension that Table 1 exposes (`OT` for
 //! `n_x ≥ 5`).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use snbc_trace::Stopwatch;
 
 use snbc::{Learner, LearnerConfig, PolynomialInclusion, TrainingSets};
 use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
@@ -70,7 +72,7 @@ impl Fossil {
     /// `u = h(x) + w` (shared with SNBC so the comparison isolates the
     /// verifier technology).
     pub fn synthesize(&self, bench: &Benchmark, inclusion: &PolynomialInclusion) -> SynthesisReport {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let system = &bench.system;
         let n = system.nvars();
 
@@ -90,13 +92,13 @@ impl Fossil {
             if t0.elapsed() > self.cfg.time_limit {
                 return SynthesisReport::failed("FOSSIL", bench.name, iter - 1, t0.elapsed(), "OT");
             }
-            let tl = Instant::now();
+            let tl = Stopwatch::start();
             learner.train(&closed_robust, inclusion.sigma_star, &sets);
             t_learn += tl.elapsed();
             let b = learner.barrier_polynomial().prune(1e-9);
             let lambda = learner.lambda_polynomial();
 
-            let tv = Instant::now();
+            let tv = Stopwatch::start();
             let bb = BranchAndBound {
                 delta: self.cfg.delta,
                 max_boxes: self.cfg.max_boxes,

@@ -8,7 +8,9 @@
 //! step), and verification/counterexamples come from the interval
 //! branch-and-bound verifier.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use snbc_trace::Stopwatch;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -80,7 +82,7 @@ impl NncChecker {
     /// Runs candidate-fit / verify / refine on a benchmark under the shared
     /// controller abstraction.
     pub fn synthesize(&self, bench: &Benchmark, inclusion: &PolynomialInclusion) -> SynthesisReport {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let system = &bench.system;
         let n = system.nvars();
         let basis = monomial_basis(n, self.cfg.barrier_degree);
@@ -102,7 +104,7 @@ impl NncChecker {
             if t0.elapsed() > self.cfg.time_limit {
                 return SynthesisReport::failed("NNCChecker", bench.name, iter - 1, t0.elapsed(), "OT");
             }
-            let tl = Instant::now();
+            let tl = Stopwatch::start();
             self.fit(
                 &mut coeffs,
                 &basis,
@@ -115,7 +117,7 @@ impl NncChecker {
             t_learn += tl.elapsed();
             let b = Polynomial::from_coeffs(&coeffs, &basis).prune(1e-10);
 
-            let tv = Instant::now();
+            let tv = Stopwatch::start();
             let bb = BranchAndBound {
                 delta: self.cfg.delta,
                 max_boxes: self.cfg.max_boxes,

@@ -19,7 +19,9 @@
 //! pinning `B(x̄_Θ) ≥ ρ` at the initial set's center via an extra linear
 //! constraint).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use snbc_trace::Stopwatch;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -84,7 +86,7 @@ impl SosTools {
     /// Attempts direct SOS synthesis on a benchmark under the shared
     /// controller abstraction.
     pub fn synthesize(&self, bench: &Benchmark, inclusion: &PolynomialInclusion) -> SynthesisReport {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let system = &bench.system;
         let n = system.nvars();
         let sigma = inclusion.sigma_star;

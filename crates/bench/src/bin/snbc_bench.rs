@@ -1,0 +1,125 @@
+//! `snbc-bench` — the benchmark regression gate.
+//!
+//! ```text
+//! snbc-bench check [--baseline-dir bench-out] [--wall-factor 10] [--trace <json-file>]
+//! ```
+//!
+//! `check` re-runs the quickstart synthesis (benchmark C3, default
+//! configuration — the exact run that produced the committed baselines, see
+//! `EXPERIMENTS.md`) in-process with a recording telemetry sink, then
+//! compares the fresh `snbc-run-report/1` document against the committed
+//! baseline with [`snbc_bench::check::check_reports`]:
+//!
+//! * under `SNBC_THREADS=1` the baseline is `BENCH_quickstart_t1.json` and
+//!   the comparison is **strict** — identical span tree and counters, since
+//!   the single-thread pipeline is deterministic;
+//! * otherwise the baseline is `BENCH_quickstart.json` and only the outcome
+//!   and a loose wall-clock factor are gated.
+//!
+//! `--trace` additionally attaches an `snbc-trace` sink and writes the
+//! Chrome trace-event JSON of the gate run (handy for inspecting what the
+//! gate itself measured; see `docs/TRACING.md`).
+//!
+//! Exit codes: `0` pass, `1` regression found, `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use snbc::{Snbc, SnbcConfig};
+use snbc_bench::check::{check_reports, render_outcome, report_threads, DEFAULT_WALL_FACTOR};
+use snbc_dynamics::benchmarks;
+use snbc_nn::{train_controller, ControllerTraining};
+use snbc_telemetry::Telemetry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {
+            let mut baseline_dir = "bench-out".to_string();
+            let mut wall_factor = DEFAULT_WALL_FACTOR;
+            let mut trace_out: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--baseline-dir" => {
+                        baseline_dir = it.next().ok_or("--baseline-dir needs a path")?.clone()
+                    }
+                    "--wall-factor" => {
+                        wall_factor = it
+                            .next()
+                            .ok_or("--wall-factor needs a number")?
+                            .parse()
+                            .map_err(|_| "bad --wall-factor value".to_string())?
+                    }
+                    "--trace" => {
+                        trace_out = Some(it.next().ok_or("--trace needs a path")?.clone())
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            check(&baseline_dir, wall_factor, trace_out.as_deref())
+        }
+        _ => Err(
+            "usage: snbc-bench check [--baseline-dir <dir>] [--wall-factor <f>] [--trace <json>]"
+                .into(),
+        ),
+    }
+}
+
+fn check(baseline_dir: &str, wall_factor: f64, trace_out: Option<&str>) -> Result<bool, String> {
+    let threads = snbc_par::threads();
+    let baseline_name = if threads == 1 {
+        "BENCH_quickstart_t1.json"
+    } else {
+        "BENCH_quickstart.json"
+    };
+    let baseline_path = format!("{baseline_dir}/{baseline_name}");
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = snbc_telemetry::Report::parse(&text)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    eprintln!(
+        "[snbc-bench] baseline {baseline_path} (threads={}), fresh run with threads={threads}",
+        report_threads(&baseline).map_or("?".to_string(), |t| t.to_string()),
+    );
+
+    // Reproduce the exact quickstart run (examples/quickstart.rs) in-process.
+    let bench = benchmarks::benchmark(3);
+    let controller = train_controller(
+        bench.system.domain().bounding_box(),
+        bench.target_law,
+        &ControllerTraining::default(),
+    );
+    let mut telemetry = Telemetry::recording();
+    if trace_out.is_some() {
+        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
+    }
+    let result = Snbc::new(SnbcConfig::default())
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, &controller);
+    if let Err(e) = &result {
+        eprintln!("[snbc-bench] fresh quickstart run FAILED: {e}");
+    }
+    if let (Some(tp), Some(dump)) = (trace_out, telemetry.trace().dump()) {
+        std::fs::write(tp, dump.to_json_string())
+            .map_err(|e| format!("cannot write {tp}: {e}"))?;
+        eprintln!("[snbc-bench] trace ({} events) -> {tp}", dump.event_count());
+    }
+    let fresh = telemetry
+        .report()
+        .ok_or("fresh run produced no telemetry report")?;
+
+    let outcome = check_reports(&baseline, &fresh, wall_factor);
+    print!("{}", render_outcome("quickstart", &outcome));
+    Ok(outcome.passed() && result.is_ok())
+}

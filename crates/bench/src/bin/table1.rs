@@ -4,12 +4,16 @@
 //! ```text
 //! cargo run -p snbc-bench --release --bin table1 -- \
 //!     [--benchmarks 1,2,3] [--tools snbc,fossil,nnc,sostools] \
-//!     [--timeout 7200] [--csv bench-out/table1.csv] [--report bench-out]
+//!     [--timeout 7200] [--csv bench-out/table1.csv] [--report bench-out] \
+//!     [--trace-dir bench-out]
 //! ```
 //!
 //! With `--report <dir>`, each SNBC run additionally writes its full
 //! `snbc-run-report/1` telemetry document (see `docs/TELEMETRY.md`) to
-//! `<dir>/BENCH_<name>.json` and prints the per-round table to stderr.
+//! `<dir>/BENCH_<name>.json` and prints the per-round table to stderr. With
+//! `--trace-dir <dir>`, each SNBC run also writes a Chrome trace-event JSON
+//! (`snbc-trace/1`, Perfetto-loadable; see `docs/TRACING.md`) to
+//! `<dir>/TRACE_<name>.json`.
 //!
 //! Absolute numbers differ from the paper (different hardware, from-scratch
 //! solvers); the claims under reproduction are the *shape*: SNBC solves all
@@ -31,6 +35,7 @@ fn main() {
     let mut timeout = Duration::from_secs(7200);
     let mut csv_path = Some("bench-out/table1.csv".to_string());
     let mut report_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,6 +61,9 @@ fn main() {
             "--no-csv" => csv_path = None,
             "--report" => {
                 report_dir = Some(it.next().expect("--report needs a directory").clone());
+            }
+            "--trace-dir" => {
+                trace_dir = Some(it.next().expect("--trace-dir needs a directory").clone());
             }
             other => panic!("unknown argument {other}"),
         }
@@ -101,8 +109,11 @@ fn main() {
         let mut csv = format!("{},{},{}", bench.name, bench.system.nvars(), bench.d_f);
         for &tool in &tools {
             // Only SNBC runs are instrumented; baselines get a no-op sink.
-            let telemetry = match (tool, &report_dir) {
-                (Tool::Snbc, Some(_)) => Telemetry::recording(),
+            let telemetry = match (tool, &report_dir, &trace_dir) {
+                (Tool::Snbc, Some(_), None) => Telemetry::recording(),
+                (Tool::Snbc, _, Some(_)) => {
+                    Telemetry::recording().with_trace(snbc_trace::Trace::recording())
+                }
                 _ => Telemetry::off(),
             };
             let r = run_tool_recorded(tool, &bench, &controller, timeout, telemetry.clone());
@@ -113,6 +124,12 @@ fn main() {
                 eprintln!("[table1]   run report -> {path}");
                 eprintln!("[table1]   {}", snbc_bench::phase_wall_summary(&rep));
                 eprint!("{}", snbc_telemetry::render_round_table(&rep));
+            }
+            if let (Some(dir), Some(dump)) = (&trace_dir, telemetry.trace().dump()) {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+                let path = format!("{dir}/TRACE_{}.json", bench.name);
+                std::fs::write(&path, dump.to_json_string()).expect("write trace");
+                eprintln!("[table1]   trace ({} events) -> {path}", dump.event_count());
             }
             eprintln!(
                 "[table1]   {} -> {}",

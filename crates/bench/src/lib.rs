@@ -10,9 +10,14 @@
 //!   counterexamples of a failing intermediate candidate, and the zero level
 //!   set of the final certificate, written as CSV plus an ASCII rendering;
 //! * `theorem2_gap` — the Remark 1 convergence study `σ̃ → σ` as the mesh
-//!   spacing shrinks.
+//!   spacing shrinks;
+//! * `snbc-bench` — the CI regression gate: `snbc-bench check` re-runs the
+//!   quickstart synthesis in-process and compares its run report against the
+//!   committed `bench-out/BENCH_quickstart*.json` baseline (see [`check`]).
 //!
 //! The [`run_tool`] / [`Tool`] API is also used by the criterion benches.
+
+pub mod check;
 
 use std::time::Duration;
 

@@ -1,7 +1,7 @@
 //! The `snbc` command-line tool.
 //!
 //! ```text
-//! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>] [--report <json-file>]
+//! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>] [--report <json-file>] [--trace <json-file>]
 //! snbc check <system-file> <certificate-file> [--deep]
 //! snbc falsify <system-file>
 //! snbc example
@@ -10,7 +10,10 @@
 //! `synth` always prints a per-round CEGIS telemetry table (learner epochs,
 //! final loss, LMI margins, counterexample count/radius, phase timings);
 //! `--report` additionally writes the full `snbc-run-report/1` JSON document
-//! described in `docs/TELEMETRY.md`.
+//! described in `docs/TELEMETRY.md`, and `--trace` writes a Chrome
+//! trace-event JSON (`snbc-trace/1`, loadable in Perfetto / `about:tracing`)
+//! with per-iteration solver events on per-worker tracks plus a self-time
+//! profile on stderr — see `docs/TRACING.md`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -40,12 +43,16 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = it.next().ok_or("synth needs a system file")?;
             let mut out = None;
             let mut report = None;
+            let mut trace_out = None;
             let mut timeout = 600u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
                     "--report" => {
                         report = Some(it.next().ok_or("--report needs a path")?.clone())
+                    }
+                    "--trace" => {
+                        trace_out = Some(it.next().ok_or("--trace needs a path")?.clone())
                     }
                     "--timeout" => {
                         timeout = it
@@ -57,7 +64,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            synth(path, out.as_deref(), timeout, report.as_deref())
+            synth(
+                path,
+                out.as_deref(),
+                timeout,
+                report.as_deref(),
+                trace_out.as_deref(),
+            )
         }
         Some("check") => {
             let sys_path = it.next().ok_or("check needs a system file")?;
@@ -74,7 +87,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err(
-            "usage: snbc synth <file> [--out <path>] [--timeout <secs>] [--report <json>] | \
+            "usage: snbc synth <file> [--out <path>] [--timeout <secs>] [--report <json>] \
+             [--trace <json>] | \
              snbc check <file> <cert> [--deep] | snbc falsify <file> | snbc example"
                 .into(),
         ),
@@ -127,14 +141,23 @@ fn as_benchmark(sf: &SystemFile) -> (Benchmark, Mlp) {
     (bench, controller)
 }
 
-fn synth(path: &str, out: Option<&str>, timeout: u64, report: Option<&str>) -> Result<(), String> {
+fn synth(
+    path: &str,
+    out: Option<&str>,
+    timeout: u64,
+    report: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
     let sf = load(path)?;
     let (bench, controller) = as_benchmark(&sf);
     let cfg = SnbcConfig {
         time_limit: Duration::from_secs(timeout),
         ..Default::default()
     };
-    let telemetry = snbc_telemetry::Telemetry::recording();
+    let mut telemetry = snbc_telemetry::Telemetry::recording();
+    if trace_out.is_some() {
+        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
+    }
     let outcome = Snbc::new(cfg)
         .with_telemetry(telemetry.clone())
         .synthesize(&bench, &controller);
@@ -146,6 +169,17 @@ fn synth(path: &str, out: Option<&str>, timeout: u64, report: Option<&str>) -> R
             std::fs::write(rp, rep.to_json_string())
                 .map_err(|e| format!("cannot write {rp}: {e}"))?;
             println!("run report written to {rp}");
+        }
+    }
+    if let Some(tp) = trace_out {
+        if let Some(dump) = telemetry.trace().dump() {
+            std::fs::write(tp, dump.to_json_string())
+                .map_err(|e| format!("cannot write {tp}: {e}"))?;
+            eprintln!("{}", dump.profile_text());
+            println!(
+                "trace written to {tp} ({} events; load in Perfetto / chrome://tracing)",
+                dump.event_count()
+            );
         }
     }
     let result = outcome.map_err(|e| e.to_string())?;

@@ -1,7 +1,9 @@
 //! The CEGIS driver (Algorithm 1): Learner ⇄ Verifier with counterexample
 //! feedback, plus the per-phase timing bookkeeping of Table 1.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use snbc_trace::Stopwatch;
 
 use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
 use snbc_nn::{Mlp, MultiplierNet, QuadraticNet};
@@ -137,7 +139,7 @@ impl Snbc {
     ///   iteration budget;
     /// * [`SnbcError::Timeout`] — the wall-clock budget tripped (`OT`).
     pub fn synthesize(&self, bench: &Benchmark, controller: &Mlp) -> Result<SnbcResult, SnbcError> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let tele = self.telemetry.clone();
         let _run = tele.span("cegis");
         if tele.is_recording() {
@@ -195,7 +197,7 @@ impl Snbc {
             let round_span = tele.span_indexed("round", iter as u64);
 
             // Learner (step 3 / step 9).
-            let tl = Instant::now();
+            let tl = Stopwatch::start();
             learner.train(&closed_robust, inclusion.sigma_star, &sets);
             t_learn += tl.elapsed();
             let b = learner.barrier_polynomial().prune(1e-9);
@@ -240,7 +242,7 @@ impl Snbc {
                 .max(outcome.init.margin.min(outcome.unsafe_.margin).min(outcome.flow.margin));
 
             // Counterexamples (steps 7–8).
-            let tc = Instant::now();
+            let tc = Stopwatch::start();
             let cex_span = tele.span("cex");
             let mut added = self.feed_counterexamples(
                 &outcome,

@@ -124,6 +124,7 @@ pub fn find_counterexample(
             cfg.seed ^ (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         )
     };
+    let trace = cfg.telemetry.trace();
     let starts = snbc_par::par_map_collect(cfg.restarts, |r| {
         let mut rng = restart_rng(r);
         let mut x: Vec<f64> = if r == 0 {
@@ -134,12 +135,14 @@ pub fn find_counterexample(
         project(&mut x, set, &mut rng);
         let mut step = cfg.step_size;
         let mut fx = v.eval(&x);
+        let mut steps_taken: u64 = 0;
         for _ in 0..cfg.steps {
             let g = v.eval_gradient(&x);
             let gnorm = g.iter().map(|a| a * a).sum::<f64>().sqrt();
             if gnorm < 1e-12 {
                 break;
             }
+            steps_taken += 1;
             let mut cand: Vec<f64> = x
                 .iter()
                 .zip(&g)
@@ -158,13 +161,22 @@ pub fn find_counterexample(
                 }
             }
         }
-        (x, fx)
+        // Emitted from the worker that ran this restart, so the Chrome
+        // export shows each ascent trajectory on its worker's track.
+        trace.ascent(r as u64, steps_taken, fx);
+        (x, fx, steps_taken)
     });
     let mut best: Option<(Vec<f64>, f64)> = None;
-    for (x, fx) in starts {
+    let mut total_steps: u64 = 0;
+    for (x, fx, steps_taken) in starts {
+        total_steps += steps_taken;
         if set.contains(&x) && best.as_ref().is_none_or(|(_, b)| fx > *b) {
             best = Some((x, fx));
         }
+    }
+    if cfg.telemetry.is_recording() {
+        cfg.telemetry.add("restarts", cfg.restarts as u64);
+        cfg.telemetry.add("ascent_steps", total_steps);
     }
     let (worst, violation) = best?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);

@@ -264,7 +264,9 @@ impl Learner {
         };
 
         let mut last_loss = f64::INFINITY;
-        for _ in 0..self.cfg.epochs {
+        let mut last_grad_norm = f64::NAN;
+        let trace = self.cfg.telemetry.trace().clone();
+        for epoch in 0..self.cfg.epochs {
             let params_ref = &params;
             let run_job = |ji: usize| -> (f64, f64, Vec<f64>) {
                 let (kind, lo, hi) = jobs[ji];
@@ -376,6 +378,8 @@ impl Learner {
             #[cfg(feature = "sanitize")]
             snbc_linalg::sanitize::check_finite("learner reduced gradient", &g);
             last_loss = loss;
+            last_grad_norm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+            trace.epoch(epoch as u64, loss, last_grad_norm);
             epochs_run += 1;
             // Early stop on the *per-sample* hinge mass (the LeakyReLU
             // surrogate can go negative once all conditions hold with margin,
@@ -392,6 +396,7 @@ impl Learner {
             self.cfg.telemetry.add("epochs", epochs_run);
             self.cfg.telemetry.add("adam_steps", adam_steps);
             self.cfg.telemetry.gauge("final_loss", last_loss);
+            self.cfg.telemetry.gauge("grad_norm", last_grad_norm);
         }
         last_loss
     }

@@ -7,7 +7,9 @@
 //! semialgebraic sets and the controller inclusion `u = h(x) + w`,
 //! `w ∈ [−σ*, σ*]`, and solves them with [`snbc_sos`].
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use snbc_trace::Stopwatch;
 
 use snbc_dynamics::Ccds;
 use snbc_interval::{BranchAndBound, Interval, Verdict};
@@ -187,7 +189,7 @@ impl<'a> Verifier<'a> {
 
     /// Problem (13): `B − Σ σᵢθᵢ ∈ Σ[x]`.
     fn check_init(&self, b: &Polynomial) -> SubproblemResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = self.system.nvars();
         let mut last = None;
         for deg in self.degree_ladder() {
@@ -210,7 +212,7 @@ impl<'a> Verifier<'a> {
 
     /// Problem (14): `−B − Σ δᵢξᵢ − ε₁ ∈ Σ[x]`.
     fn check_unsafe(&self, b: &Polynomial) -> SubproblemResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = self.system.nvars();
         let mut last = None;
         for deg in self.degree_ladder() {
@@ -258,7 +260,7 @@ fn record_subproblem(t: &snbc_telemetry::Telemetry, r: &SubproblemResult) {
 
 fn finish(
     result: Result<snbc_sos::SosSolution, SosError>,
-    start: Instant,
+    start: Stopwatch,
     lambda: Option<snbc_sos::UnknownId>,
 ) -> SubproblemResult {
     let time = start.elapsed();
@@ -511,7 +513,7 @@ fn check_flow_channels(
     cfg: &VerifierConfig,
     ladder: &[u32],
 ) -> SubproblemResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let n = system.nvars();
 
 

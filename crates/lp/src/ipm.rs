@@ -142,6 +142,7 @@ fn solve_standard_inner(
     // precision the normal equations degrade and residuals can oscillate, so
     // we never return anything worse than the best visited point.
     let mut best: Option<(f64, Vec<f64>, Vec<f64>, Vec<f64>, usize)> = None;
+    let trace = opts.telemetry.trace();
 
     for iter in 0..opts.max_iterations {
         // Residuals.
@@ -176,6 +177,18 @@ fn solve_standard_inner(
             best = Some((merit, x.clone(), y.clone(), s.clone(), iter));
         }
         if rp_rel < opts.tolerance && rd_rel < opts.tolerance && mu < opts.tolerance {
+            // Terminal iterate: no step taken, no factorization spent.
+            trace.ipm_iter(
+                "lp",
+                snbc_trace::IpmSample {
+                    iter: iter as u64,
+                    mu,
+                    rp_rel,
+                    rd_rel,
+                    gap_rel,
+                    ..Default::default()
+                },
+            );
             return Ok(LpSolution {
                 objective: cx,
                 x,
@@ -230,6 +243,7 @@ fn solve_standard_inner(
             }
             mm[(i, i)] += opts.regularization * (1.0 + mm[(i, i)]);
         }
+        let mut chol_spent = 1u64;
         let chol = match mm.cholesky() {
             Ok(chol) => chol,
             Err(_) => {
@@ -237,6 +251,7 @@ fn solve_standard_inner(
                 for i in 0..m {
                     mm[(i, i)] += 1e-8 * (1.0 + mm[(i, i)]);
                 }
+                chol_spent += 1;
                 mm.cholesky()?
             }
         };
@@ -267,6 +282,20 @@ fn solve_standard_inner(
         vec_ops::axpy(alpha_p, &dx, &mut x);
         vec_ops::axpy(alpha_d, &dy, &mut y);
         vec_ops::axpy(alpha_d, &ds, &mut s);
+
+        trace.ipm_iter(
+            "lp",
+            snbc_trace::IpmSample {
+                iter: iter as u64,
+                mu,
+                rp_rel,
+                rd_rel,
+                gap_rel,
+                alpha_p,
+                alpha_d,
+                cholesky: chol_spent,
+            },
+        );
     }
 
     // Return the best visited iterate if it is reasonably converged.

@@ -139,8 +139,12 @@ where
         let rb = b();
         return (ra, rb);
     }
+    let parent = snbc_trace::current_worker();
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || {
+            let _g = snbc_trace::enter_worker(snbc_trace::child_worker_label(&parent, 1));
+            b()
+        });
         let ra = a();
         match hb.join() {
             Ok(rb) => (ra, rb),
@@ -171,9 +175,12 @@ where
         let rc = c();
         return (ra, rb, rc);
     }
+    let parent = snbc_trace::current_worker();
     if t == 2 {
         let (ra, (rb, rc)) = std::thread::scope(|s| {
+            let label = snbc_trace::child_worker_label(&parent, 1);
             let h = s.spawn(move || {
+                let _g = snbc_trace::enter_worker(label);
                 let rb = b();
                 let rc = c();
                 (rb, rc)
@@ -187,8 +194,16 @@ where
         return (ra, rb, rc);
     }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let hc = s.spawn(c);
+        let lb = snbc_trace::child_worker_label(&parent, 1);
+        let lc = snbc_trace::child_worker_label(&parent, 2);
+        let hb = s.spawn(move || {
+            let _g = snbc_trace::enter_worker(lb);
+            b()
+        });
+        let hc = s.spawn(move || {
+            let _g = snbc_trace::enter_worker(lc);
+            c()
+        });
         let ra = a();
         let rb = hb.join();
         let rc = hc.join();
@@ -398,11 +413,19 @@ where
             f(&mut scratch, first_chunk + k, sub);
         }
     };
+    let parent = snbc_trace::current_worker();
     std::thread::scope(|s| {
         let mut iter = parts.into_iter();
         let mine = iter.next().expect("at least one partition");
         let handles: Vec<_> = iter
-            .map(|(c, piece)| s.spawn(move || run_part(c, piece)))
+            .enumerate()
+            .map(|(k, (c, piece))| {
+                let label = snbc_trace::child_worker_label(&parent, k + 1);
+                s.spawn(move || {
+                    let _g = snbc_trace::enter_worker(label);
+                    run_part(c, piece)
+                })
+            })
             .collect();
         run_part(mine.0, mine.1);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -421,8 +444,17 @@ where
 /// `work(0)` on the calling thread; rethrows the first worker panic (in
 /// spawn order) after all workers have joined.
 fn run_on_pool(workers: usize, work: &(impl Fn(usize) + Sync)) {
+    let parent = snbc_trace::current_worker();
     std::thread::scope(|s| {
-        let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || work(w))).collect();
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                let label = snbc_trace::child_worker_label(&parent, w);
+                s.spawn(move || {
+                    let _g = snbc_trace::enter_worker(label);
+                    work(w)
+                })
+            })
+            .collect();
         work(0);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for h in handles {

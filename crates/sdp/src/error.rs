@@ -9,7 +9,18 @@ pub enum SdpError {
     /// Problem construction/validation error.
     Invalid(String),
     /// Interior-point iteration exceeded its budget without converging.
-    IterationLimit { iterations: usize, mu: f64 },
+    ///
+    /// Carries the last iterate's convergence state so callers (and the
+    /// telemetry gauges) can distinguish "almost there" from "diverged":
+    /// `rp_rel`/`rd_rel` are the relative primal/dual residuals and
+    /// `gap_rel` the relative duality gap at the final iterate.
+    IterationLimit {
+        iterations: usize,
+        mu: f64,
+        rp_rel: f64,
+        rd_rel: f64,
+        gap_rel: f64,
+    },
     /// The problem was detected to be (numerically) primal infeasible.
     Infeasible,
     /// The problem was detected to be (numerically) unbounded.
@@ -29,9 +40,16 @@ impl fmt::Display for SdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SdpError::Invalid(msg) => write!(f, "invalid problem: {msg}"),
-            SdpError::IterationLimit { iterations, mu } => write!(
+            SdpError::IterationLimit {
+                iterations,
+                mu,
+                rp_rel,
+                rd_rel,
+                gap_rel,
+            } => write!(
                 f,
-                "interior-point iteration limit ({iterations}) reached at mu={mu:.3e}"
+                "interior-point iteration limit ({iterations}) reached at mu={mu:.3e} \
+                 (rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e})"
             ),
             SdpError::Infeasible => write!(f, "problem is primal infeasible"),
             SdpError::Unbounded => write!(f, "problem is unbounded"),

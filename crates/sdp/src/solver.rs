@@ -139,9 +139,21 @@ impl SdpSolver {
                     self.telemetry
                         .flag("optimal", matches!(sol.status, SdpStatus::Optimal));
                 }
-                Err(SdpError::IterationLimit { iterations, mu }) => {
+                Err(SdpError::IterationLimit {
+                    iterations,
+                    mu,
+                    rp_rel,
+                    rd_rel,
+                    gap_rel,
+                }) => {
                     self.telemetry.add("iterations", *iterations as u64);
                     self.telemetry.gauge("duality_mu", *mu);
+                    // Final iterate's residual history: without these gauges a
+                    // budget-limited solve is indistinguishable from a
+                    // diverged one in the run report.
+                    self.telemetry.gauge("primal_residual", *rp_rel);
+                    self.telemetry.gauge("dual_residual", *rd_rel);
+                    self.telemetry.gauge("gap_rel", *gap_rel);
                     self.telemetry.flag("optimal", false);
                 }
                 Err(_) => self.telemetry.flag("optimal", false),
@@ -182,9 +194,13 @@ impl SdpSolver {
         let cnorm1 = 1.0 + cnorm;
 
         let mut best: Option<(f64, BlockMatrix, Vec<f64>, BlockMatrix, usize)> = None;
-        let t0 = std::time::Instant::now();
+        let t0 = snbc_trace::Stopwatch::start();
+        let trace = self.telemetry.trace();
+        // Last iterate's convergence state, for IterationLimit diagnostics.
+        let mut last_res = (f64::NAN, f64::NAN, f64::NAN);
 
         for iter in 0..self.max_iterations {
+            let chol_at_entry = *cholesky_count;
             if let Some(limit) = self.time_limit {
                 if t0.elapsed() > limit {
                     break; // fall through to the best-iterate return below
@@ -213,6 +229,7 @@ impl SdpSolver {
             let rp_rel = vec_ops::norm2(&rp) / bnorm;
             let rd_rel = rd.norm_fro() / cnorm1;
             let gap_rel = xz.abs() / (1.0 + pobj.abs() + dobj.abs());
+            last_res = (rp_rel, rd_rel, gap_rel);
 
             if std::env::var_os("SNBC_SDP_TRACE").is_some() {
                 eprintln!(
@@ -235,6 +252,19 @@ impl SdpSolver {
             }
 
             if rp_rel < self.tolerance && rd_rel < self.tolerance && gap_rel < self.tolerance {
+                // Terminal iterate: no step is taken, so the step lengths are
+                // zero and no factorizations were spent this round.
+                trace.ipm_iter(
+                    "sdp",
+                    snbc_trace::IpmSample {
+                        iter: iter as u64,
+                        mu,
+                        rp_rel,
+                        rd_rel,
+                        gap_rel,
+                        ..Default::default()
+                    },
+                );
                 return Ok(SdpSolution {
                     primal_objective: pobj,
                     dual_objective: dobj,
@@ -305,6 +335,20 @@ impl SdpSolver {
             x.axpy(alpha_p, &dx)?;
             vec_ops::axpy(alpha_d, &dy, &mut y);
             z.axpy(alpha_d, &dz)?;
+
+            trace.ipm_iter(
+                "sdp",
+                snbc_trace::IpmSample {
+                    iter: iter as u64,
+                    mu,
+                    rp_rel,
+                    rd_rel,
+                    gap_rel,
+                    alpha_p,
+                    alpha_d,
+                    cholesky: (*cholesky_count - chol_at_entry) as u64,
+                },
+            );
         }
 
         if let Some((merit, bx, by, bz, iter)) = best {
@@ -334,6 +378,9 @@ impl SdpSolver {
         Err(SdpError::IterationLimit {
             iterations: self.max_iterations,
             mu,
+            rp_rel: last_res.0,
+            rd_rel: last_res.1,
+            gap_rel: last_res.2,
         })
     }
 

@@ -47,6 +47,9 @@ pub mod json;
 pub mod report;
 
 pub use report::{render_round_table, Report, SpanNode, SCHEMA};
+// Re-exported so downstream crates can reach the trace layer through their
+// existing telemetry dependency (e.g. `telemetry.trace().ipm_iter(...)`).
+pub use snbc_trace::{IpmSample, Trace};
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -59,6 +62,9 @@ struct SpanSlot {
     started: Instant,
     /// `Some` once the span has been closed.
     elapsed: Option<Duration>,
+    /// Id of the mirrored `snbc-trace` span event pair (0 = no trace
+    /// attached); surfaced as the report's `trace_id` field.
+    trace_id: u64,
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, f64)>,
     labels: Vec<(&'static str, String)>,
@@ -69,12 +75,13 @@ struct SpanSlot {
 }
 
 impl SpanSlot {
-    fn new(name: &'static str, index: Option<u64>) -> Self {
+    fn new(name: &'static str, index: Option<u64>, trace_id: u64) -> Self {
         SpanSlot {
             name,
             index,
             started: Instant::now(),
             elapsed: None,
+            trace_id,
             counters: Vec::new(),
             gauges: Vec::new(),
             labels: Vec::new(),
@@ -102,17 +109,17 @@ impl Recorder {
     fn new() -> Self {
         Recorder {
             inner: Mutex::new(Inner {
-                spans: vec![SpanSlot::new("run", None)],
+                spans: vec![SpanSlot::new("run", None, 0)],
                 stack: vec![0],
             }),
         }
     }
 
-    fn open(&self, name: &'static str, index: Option<u64>) -> usize {
+    fn open(&self, name: &'static str, index: Option<u64>, trace_id: u64) -> usize {
         let Ok(mut g) = self.inner.lock() else { return 0 };
         let id = g.spans.len();
         let parent = g.stack.last().copied().unwrap_or(0);
-        g.spans.push(SpanSlot::new(name, index));
+        g.spans.push(SpanSlot::new(name, index, trace_id));
         g.spans[parent].children.push(id);
         g.stack.push(id);
         id
@@ -187,6 +194,7 @@ impl Recorder {
             SpanNode {
                 name: s.name.to_string(),
                 index: s.index,
+                trace_id: (s.trace_id != 0).then_some(s.trace_id),
                 elapsed_s: elapsed.as_secs_f64(),
                 counters: s.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
                 gauges: s.gauges.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
@@ -215,20 +223,45 @@ impl Recorder {
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     rec: Option<Arc<Recorder>>,
+    trace: Trace,
 }
 
 impl Telemetry {
     /// The no-op sink (same as `Telemetry::default()`).
     #[inline]
     pub fn off() -> Self {
-        Telemetry { rec: None }
+        Telemetry {
+            rec: None,
+            trace: Trace::off(),
+        }
     }
 
     /// A fresh recording sink with an implicit open root span `"run"`.
     pub fn recording() -> Self {
         Telemetry {
             rec: Some(Arc::new(Recorder::new())),
+            trace: Trace::off(),
         }
+    }
+
+    /// Attaches an `snbc-trace` event sink: every span opened through this
+    /// handle (and its [`Telemetry::fork`]s) additionally emits a trace
+    /// span-begin/end pair, and the span's trace id is stored in the run
+    /// report (`trace_id`), so the report tree and the trace timeline
+    /// cross-reference each other.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached trace handle (the disabled sink when none was attached).
+    /// Hot loops use this for iteration-level events the span tree
+    /// deliberately aggregates away (IPM iterations, learner epochs,
+    /// ascent restarts).
+    #[inline]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Whether events are being recorded.
@@ -253,11 +286,23 @@ impl Telemetry {
 
     fn span_inner(&self, name: &'static str, index: Option<u64>) -> SpanGuard {
         match &self.rec {
-            None => SpanGuard { rec: None, id: 0 },
-            Some(r) => SpanGuard {
-                id: r.open(name, index),
-                rec: Some(Arc::clone(r)),
+            None => SpanGuard {
+                rec: None,
+                id: 0,
+                trace: Trace::off(),
+                name,
+                trace_id: 0,
             },
+            Some(r) => {
+                let trace_id = self.trace.begin_span(name, index);
+                SpanGuard {
+                    id: r.open(name, index, trace_id),
+                    rec: Some(Arc::clone(r)),
+                    trace: self.trace.clone(),
+                    name,
+                    trace_id,
+                }
+            }
         }
     }
 
@@ -306,7 +351,9 @@ impl Telemetry {
     /// byte-identical reports.
     pub fn fork(&self) -> Telemetry {
         if self.rec.is_some() {
-            Telemetry::recording()
+            // The trace sink is shared, not forked: it is per-thread-laned
+            // and therefore safe (and meaningful) to write from any branch.
+            Telemetry::recording().with_trace(self.trace.clone())
         } else {
             Telemetry::off()
         }
@@ -331,17 +378,24 @@ impl Telemetry {
     }
 }
 
-/// RAII guard returned by [`Telemetry::span`]; closes the span on drop.
+/// RAII guard returned by [`Telemetry::span`]; closes the span on drop,
+/// emitting the matching trace span-end event when a trace is attached.
 #[derive(Debug)]
 pub struct SpanGuard {
     rec: Option<Arc<Recorder>>,
     id: usize,
+    trace: Trace,
+    name: &'static str,
+    trace_id: u64,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(r) = &self.rec {
             r.close(self.id);
+        }
+        if self.trace_id != 0 {
+            self.trace.end_span(self.name, self.trace_id);
         }
     }
 }
@@ -467,6 +521,49 @@ mod tests {
         let off = Telemetry::off();
         assert!(!off.fork().is_recording());
         off.adopt(&t);
+    }
+
+    #[test]
+    fn attached_trace_mirrors_spans_with_shared_ids() {
+        let trace = Trace::recording();
+        let t = Telemetry::recording().with_trace(trace.clone());
+        {
+            let _round = t.span_indexed("round", 2);
+            let _learn = t.span("learn");
+        }
+        let rep = t.report().unwrap();
+        let round = rep.root.child("round").unwrap();
+        let learn = round.child("learn").unwrap();
+        let (rid, lid) = (round.trace_id.unwrap(), learn.trace_id.unwrap());
+        assert_ne!(rid, lid);
+        // The run report serializes the shared ids.
+        let json = rep.to_json_string();
+        assert!(json.contains(&format!("\"trace_id\": {rid}")), "{json}");
+        assert_eq!(Report::parse(&json).unwrap(), rep);
+        // The trace holds the matching begin/end pairs on one track.
+        let dump = trace.dump().unwrap();
+        assert_eq!(dump.event_count(), 4);
+        let keys = dump.ordering_keys();
+        assert!(keys.contains(&"B:round:Some(2)".to_string()), "{keys:?}");
+        assert!(keys.contains(&"E:learn".to_string()), "{keys:?}");
+        // Forks share the same trace sink; adopted spans keep their ids.
+        let f = t.fork();
+        assert!(f.trace().is_enabled());
+        {
+            let _s = f.span("init");
+        }
+        t.adopt(&f);
+        let rep2 = t.report().unwrap();
+        assert!(rep2.root.child("init").unwrap().trace_id.is_some());
+        assert_eq!(trace.dump().unwrap().event_count(), 6);
+        // Without a trace attached, reports carry no trace ids.
+        let plain = Telemetry::recording();
+        {
+            let _s = plain.span("learn");
+        }
+        let prep = plain.report().unwrap();
+        assert_eq!(prep.root.child("learn").unwrap().trace_id, None);
+        assert!(!prep.to_json_string().contains("trace_id"));
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct SpanNode {
     pub name: String,
     /// Optional index, used by `"round"` spans for the CEGIS iteration.
     pub index: Option<u64>,
+    /// Id of the matching span-begin/end pair in the `snbc-trace` event
+    /// stream (`args.span_id` in the Chrome export); present only when a
+    /// trace sink was attached to the run (see `docs/TRACING.md`).
+    pub trace_id: Option<u64>,
     /// Wall-clock seconds from a monotonic timer (time-so-far if the span
     /// was still open when the snapshot was taken).
     pub elapsed_s: f64,
@@ -92,6 +96,9 @@ impl SpanNode {
         if let Some(i) = self.index {
             pairs.push(("index".to_string(), Value::Int(i)));
         }
+        if let Some(t) = self.trace_id {
+            pairs.push(("trace_id".to_string(), Value::Int(t)));
+        }
         pairs.push(("elapsed_s".to_string(), Value::Num(self.elapsed_s)));
         if !self.counters.is_empty() {
             pairs.push((
@@ -142,6 +149,7 @@ impl SpanNode {
             .ok_or("span missing `name`")?
             .to_string();
         let index = v.get("index").and_then(Value::as_u64);
+        let trace_id = v.get("trace_id").and_then(Value::as_u64);
         // A null elapsed_s cannot occur for finite timers, but tolerate it.
         let elapsed_s = v
             .get("elapsed_s")
@@ -189,6 +197,7 @@ impl SpanNode {
         Ok(SpanNode {
             name,
             index,
+            trace_id,
             elapsed_s,
             counters,
             gauges,
@@ -322,6 +331,7 @@ mod tests {
         let learn = SpanNode {
             name: "learn".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.52,
             counters: vec![("epochs".to_string(), 200), ("adam_steps".to_string(), 199)],
             gauges: vec![("final_loss".to_string(), 1.5e-3)],
@@ -331,6 +341,7 @@ mod tests {
         let sdp = SpanNode {
             name: "sdp".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.11,
             counters: vec![("iterations".to_string(), 17), ("cholesky".to_string(), 64)],
             gauges: vec![("duality_mu".to_string(), 3.4e-10)],
@@ -340,6 +351,7 @@ mod tests {
         let init = SpanNode {
             name: "init".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.12,
             counters: vec![],
             gauges: vec![("margin".to_string(), 0.015), ("feasible".to_string(), 1.0)],
@@ -349,6 +361,7 @@ mod tests {
         let verify = SpanNode {
             name: "verify".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.4,
             counters: vec![],
             gauges: vec![],
@@ -358,6 +371,7 @@ mod tests {
         let search = SpanNode {
             name: "search-flow".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.05,
             counters: vec![("points".to_string(), 32)],
             gauges: vec![("gamma".to_string(), 0.21), ("violation".to_string(), 0.02)],
@@ -367,6 +381,7 @@ mod tests {
         let cex = SpanNode {
             name: "cex".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 0.07,
             counters: vec![],
             gauges: vec![],
@@ -376,6 +391,7 @@ mod tests {
         let round = SpanNode {
             name: "round".to_string(),
             index: Some(0),
+            trace_id: None,
             elapsed_s: 1.0,
             counters: vec![],
             gauges: vec![],
@@ -385,6 +401,7 @@ mod tests {
         let cegis = SpanNode {
             name: "cegis".to_string(),
             index: None,
+            trace_id: None,
             elapsed_s: 1.2,
             counters: vec![("iterations".to_string(), 1)],
             gauges: vec![("sigma_star".to_string(), 0.08)],
@@ -395,6 +412,7 @@ mod tests {
             root: SpanNode {
                 name: "run".to_string(),
                 index: None,
+                trace_id: None,
                 elapsed_s: 1.3,
                 counters: vec![],
                 gauges: vec![],

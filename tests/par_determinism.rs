@@ -3,10 +3,16 @@
 //! bitwise identical no matter how many worker threads execute the SDP
 //! assembly, the learner batches, and the counterexample restarts.
 
+use std::sync::Mutex;
+
 use snbc::{Snbc, SnbcConfig, SnbcResult};
 use snbc_dynamics::benchmarks;
 use snbc_nn::{train_controller, ControllerTraining, Mlp};
 use snbc_telemetry::{Report, Telemetry};
+
+/// Both tests mutate the process-wide `SNBC_THREADS` variable; serialize them
+/// so the harness's default test parallelism cannot interleave the settings.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn synthesize_with_threads(controller: &Mlp, threads: usize) -> (SnbcResult, Report) {
     // The env var is the documented user-facing knob; set it (rather than the
@@ -26,6 +32,7 @@ fn synthesize_with_threads(controller: &Mlp, threads: usize) -> (SnbcResult, Rep
 
 #[test]
 fn synthesis_is_bitwise_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
     let bench = benchmarks::benchmark(3);
     let controller = train_controller(
         bench.system.domain().bounding_box(),
@@ -68,5 +75,65 @@ fn synthesis_is_bitwise_identical_across_thread_counts() {
     assert_eq!(
         serial.verification.flow.margin.to_bits(),
         parallel.verification.flow.margin.to_bits()
+    );
+}
+
+/// Runs the quickstart synthesis with a recording trace sink attached and
+/// returns the trace snapshot.
+fn trace_with_threads(controller: &Mlp, threads: usize) -> snbc_trace::ChromeTrace {
+    std::env::set_var("SNBC_THREADS", threads.to_string());
+    let bench = benchmarks::benchmark(3);
+    let telemetry = Telemetry::recording().with_trace(snbc_trace::Trace::recording());
+    Snbc::new(SnbcConfig::default())
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, controller)
+        .unwrap_or_else(|e| panic!("synthesis failed at SNBC_THREADS={threads}: {e}"));
+    let dump = telemetry.trace().dump().expect("recording trace yields a dump");
+    std::env::remove_var("SNBC_THREADS");
+    dump
+}
+
+#[test]
+fn trace_event_stream_is_deterministic_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let bench = benchmarks::benchmark(3);
+    let controller = train_controller(
+        bench.system.domain().bounding_box(),
+        bench.target_law,
+        &ControllerTraining::default(),
+    );
+
+    let serial = trace_with_threads(&controller, 1);
+    let parallel = trace_with_threads(&controller, 4);
+
+    // No lane may overflow on a quickstart-sized run; a dropped event would
+    // silently break the count comparison below.
+    assert_eq!(serial.dropped, 0, "serial trace dropped events");
+    assert_eq!(parallel.dropped, 0, "parallel trace dropped events");
+
+    // Same events in both runs: identical totals, and the sorted
+    // thread-count-invariant keys (name + deterministic payload, timestamps
+    // and track/span-id allocation excluded) must agree element-wise. The
+    // parallel run spreads the events over more tracks, but every IPM
+    // iteration, learner epoch, ascent trajectory, and span pair must still
+    // happen exactly once with bit-identical numbers.
+    assert_eq!(
+        serial.event_count(),
+        parallel.event_count(),
+        "trace event totals differ between SNBC_THREADS=1 and 4"
+    );
+    assert_eq!(
+        serial.ordering_keys(),
+        parallel.ordering_keys(),
+        "trace ordering keys differ between SNBC_THREADS=1 and 4"
+    );
+
+    // The parallel run actually used extra worker tracks (otherwise this
+    // test would pass vacuously with everything on `main`).
+    assert!(
+        parallel.tracks.len() > serial.tracks.len(),
+        "parallel run produced no extra worker tracks ({} vs {})",
+        parallel.tracks.len(),
+        serial.tracks.len()
     );
 }
