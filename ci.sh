@@ -8,6 +8,19 @@ cd "$(dirname "$0")"
 echo "==> snbc-audit (static analysis gate)"
 cargo run -q -p snbc-audit
 
+echo "==> snbc-audit self-test (engine, fixtures, formats)"
+cargo test -q -p snbc-audit
+
+echo "==> snbc-audit SARIF artifact (deterministic bytes)"
+mkdir -p target/audit
+cargo run -q -p snbc-audit -- --format sarif --output target/audit/audit.sarif
+cargo run -q -p snbc-audit -- --format json --output target/audit/audit.json
+grep -q '"name":"snbc-audit"' target/audit/audit.sarif
+grep -q '"schema":"snbc-audit/2"' target/audit/audit.json
+
+echo "==> snbc-audit gate holds with an absent baseline (tree must be clean)"
+cargo run -q -p snbc-audit -- --baseline target/audit/no-such-baseline.txt
+
 echo "==> cargo doc (rustdoc gate, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -6,50 +6,152 @@
 //! legacy debt doesn't block CI while new debt can never land. Improvements
 //! are reported so the baseline can be re-tightened with `--update-baseline`.
 //!
-//! File format, one entry per line, sorted, `#` comments allowed:
+//! # Format v2
 //!
 //! ```text
+//! version 2
+//! rule <rule-id> <rule-version>
 //! <rule-id> <workspace-relative-path> <count>
 //! ```
+//!
+//! `rule` lines pin the rule version the entries were recorded against; when
+//! a rule's matching semantics tighten, its [`crate::rules::RuleInfo::version`]
+//! is bumped and **only that rule's** baseline entries go stale (they are
+//! dropped from the ratchet, so the rule's findings resurface as regressions
+//! until the baseline is regenerated). Entries for rules without a `rule`
+//! line, and whole files in the legacy v1 format (`<rule> <file> <count>`
+//! lines only, no `version` header), are grandfathered at the current rule
+//! versions.
+//!
+//! Lines are sorted, `#` comments and blanks allowed anywhere.
 
 use crate::rules::{Finding, Rule};
 use std::collections::BTreeMap;
 
 pub type BaselineMap = BTreeMap<(Rule, String), usize>;
 
-/// Parse baseline text. Unknown rules or malformed lines are errors — a
-/// silently-ignored baseline line would silently re-admit findings.
-pub fn parse(text: &str) -> Result<BaselineMap, String> {
-    let mut map = BaselineMap::new();
+/// Current baseline format version emitted by [`render`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// A parsed baseline: tolerated counts plus the rule versions they were
+/// recorded against.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Format version of the parsed file (1 when no `version` header).
+    pub format_version: u32,
+    /// Tolerated findings per (rule, file) — as written, staleness not yet
+    /// applied.
+    pub entries: BaselineMap,
+    /// Rule version each `rule` line pinned; rules absent here are
+    /// grandfathered at their current version.
+    pub rule_versions: BTreeMap<Rule, u32>,
+}
+
+impl Baseline {
+    /// Rules whose pinned version no longer matches the live rule: their
+    /// entries are invalid. Returns `(rule, recorded, current)`.
+    pub fn stale_rules(&self) -> Vec<(Rule, u32, u32)> {
+        self.rule_versions
+            .iter()
+            .filter(|(rule, &recorded)| recorded != rule.version())
+            .map(|(rule, &recorded)| (*rule, recorded, rule.version()))
+            .collect()
+    }
+
+    /// Entries with stale-rule lines removed — the map the ratchet actually
+    /// diffs against.
+    pub fn effective_entries(&self) -> BaselineMap {
+        let stale: Vec<Rule> = self.stale_rules().iter().map(|(r, _, _)| *r).collect();
+        self.entries
+            .iter()
+            .filter(|((rule, _), _)| !stale.contains(rule))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+/// Parse baseline text (v1 or v2). Unknown rules or malformed lines are
+/// errors — a silently-ignored baseline line would silently re-admit
+/// findings.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline { format_version: 1, ..Baseline::default() };
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
-        else {
-            return Err(format!("baseline line {}: expected `<rule> <file> <count>`", idx + 1));
-        };
-        let rule = Rule::from_id(rule)
-            .ok_or_else(|| format!("baseline line {}: unknown rule `{rule}`", idx + 1))?;
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
-        if map.insert((rule, file.to_string()), count).is_some() {
-            return Err(format!("baseline line {}: duplicate entry", idx + 1));
+        let first = parts.next().unwrap_or_default();
+        match first {
+            "version" => {
+                let v: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("baseline line {}: bad `version` line", idx + 1))?;
+                if v == 0 || v > FORMAT_VERSION {
+                    return Err(format!(
+                        "baseline line {}: unsupported format version {v} (this tool reads 1..={FORMAT_VERSION})",
+                        idx + 1
+                    ));
+                }
+                baseline.format_version = v;
+            }
+            "rule" => {
+                let (Some(id), Some(ver)) = (parts.next(), parts.next()) else {
+                    return Err(format!(
+                        "baseline line {}: expected `rule <id> <version>`",
+                        idx + 1
+                    ));
+                };
+                let rule = Rule::from_id(id)
+                    .ok_or_else(|| format!("baseline line {}: unknown rule `{id}`", idx + 1))?;
+                let ver: u32 = ver
+                    .parse()
+                    .map_err(|_| format!("baseline line {}: bad rule version `{ver}`", idx + 1))?;
+                if baseline.rule_versions.insert(rule, ver).is_some() {
+                    return Err(format!("baseline line {}: duplicate `rule` line", idx + 1));
+                }
+            }
+            rule_id => {
+                let (Some(file), Some(count)) = (parts.next(), parts.next()) else {
+                    return Err(format!(
+                        "baseline line {}: expected `<rule> <file> <count>`",
+                        idx + 1
+                    ));
+                };
+                let rule = Rule::from_id(rule_id).ok_or_else(|| {
+                    format!("baseline line {}: unknown rule `{rule_id}`", idx + 1)
+                })?;
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+                if baseline.entries.insert((rule, file.to_string()), count).is_some() {
+                    return Err(format!("baseline line {}: duplicate entry", idx + 1));
+                }
+            }
         }
     }
-    Ok(map)
+    Ok(baseline)
 }
 
-/// Serialize findings into baseline text (sorted, stable).
+/// Serialize findings into baseline text (v2, sorted, stable). `rule` lines
+/// are emitted only for rules that have entries, pinned at their current
+/// versions.
 pub fn render(findings: &[Finding]) -> String {
+    let counts = count_by_key(findings);
     let mut out = String::from(
         "# snbc-audit baseline — tolerated findings per (rule, file).\n\
-         # Regenerate with `cargo run -p snbc-audit -- --update-baseline`.\n",
+         # Regenerate with `cargo run -p snbc-audit -- --update-baseline`.\n\
+         # `rule` lines pin rule versions: bumping a rule invalidates only its entries.\n",
     );
-    for ((rule, file), count) in &count_by_key(findings) {
+    out.push_str(&format!("version {FORMAT_VERSION}\n"));
+    let mut rules: Vec<Rule> = counts.keys().map(|(r, _)| *r).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        out.push_str(&format!("rule {} {}\n", rule.id(), rule.version()));
+    }
+    for ((rule, file), count) in &counts {
         out.push_str(&format!("{} {} {}\n", rule.id(), file, count));
     }
     out
@@ -70,6 +172,9 @@ pub struct Diff {
     pub regressions: Vec<(Rule, String, usize, usize)>, // (rule, file, current, tolerated)
     /// Baseline entries whose counts dropped (candidates for tightening).
     pub improvements: Vec<(Rule, String, usize, usize)>,
+    /// Rules whose baseline entries were invalidated by a version bump:
+    /// `(rule, recorded_version, current_version)`.
+    pub stale: Vec<(Rule, u32, u32)>,
 }
 
 impl Diff {
@@ -78,17 +183,19 @@ impl Diff {
     }
 }
 
-/// Compare current findings to the baseline.
-pub fn diff(findings: &[Finding], baseline: &BaselineMap) -> Diff {
+/// Compare current findings to the baseline. Entries of stale rules are
+/// ignored (their findings count as regressions again).
+pub fn diff(findings: &[Finding], baseline: &Baseline) -> Diff {
     let current = count_by_key(findings);
-    let mut out = Diff::default();
+    let tolerated_map = baseline.effective_entries();
+    let mut out = Diff { stale: baseline.stale_rules(), ..Diff::default() };
     for ((rule, file), &count) in &current {
-        let tolerated = baseline.get(&(*rule, file.clone())).copied().unwrap_or(0);
+        let tolerated = tolerated_map.get(&(*rule, file.clone())).copied().unwrap_or(0);
         if count > tolerated {
             out.regressions.push((*rule, file.clone(), count, tolerated));
         }
     }
-    for ((rule, file), &tolerated) in baseline {
+    for ((rule, file), &tolerated) in &tolerated_map {
         let count = current.get(&(*rule, file.clone())).copied().unwrap_or(0);
         if count < tolerated {
             out.improvements.push((*rule, file.clone(), count, tolerated));
@@ -112,23 +219,60 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
+    fn roundtrip_v2() {
         let findings = vec![
             finding(Rule::FloatEq, "crates/a/src/lib.rs", 3),
             finding(Rule::FloatEq, "crates/a/src/lib.rs", 9),
             finding(Rule::Panicking, "crates/b/src/lib.rs", 1),
         ];
         let text = render(&findings);
-        let map = parse(&text).unwrap();
-        assert_eq!(map.len(), 2);
-        assert_eq!(map[&(Rule::FloatEq, "crates/a/src/lib.rs".into())], 2);
-        assert!(diff(&findings, &map).is_clean());
+        assert!(text.contains("version 2"));
+        assert!(text.contains("rule float-eq 1"));
+        let b = parse(&text).unwrap();
+        assert_eq!(b.format_version, 2);
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[&(Rule::FloatEq, "crates/a/src/lib.rs".into())], 2);
+        assert!(b.stale_rules().is_empty());
+        assert!(diff(&findings, &b).is_clean());
+    }
+
+    #[test]
+    fn v1_files_are_grandfathered() {
+        let b = parse("float-eq crates/a/src/lib.rs 1\n").unwrap();
+        assert_eq!(b.format_version, 1);
+        assert!(b.rule_versions.is_empty());
+        assert!(b.stale_rules().is_empty());
+        let findings = vec![finding(Rule::FloatEq, "crates/a/src/lib.rs", 3)];
+        assert!(diff(&findings, &b).is_clean());
+    }
+
+    #[test]
+    fn version_bump_invalidates_only_that_rule() {
+        // Record float-eq at a version that no longer exists; panicking stays
+        // pinned correctly.
+        let text = "version 2\n\
+                    rule float-eq 999\n\
+                    rule panicking 1\n\
+                    float-eq crates/a/src/lib.rs 1\n\
+                    panicking crates/b/src/lib.rs 1\n";
+        let b = parse(text).unwrap();
+        let stale = b.stale_rules();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].0, Rule::FloatEq);
+        let findings = vec![
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 3),
+            finding(Rule::Panicking, "crates/b/src/lib.rs", 4),
+        ];
+        let d = diff(&findings, &b);
+        // float-eq resurfaces (its entry is stale); panicking stays tolerated.
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].0, Rule::FloatEq);
+        assert_eq!(d.stale.len(), 1);
     }
 
     #[test]
     fn regression_on_new_file_and_on_count_increase() {
-        let baseline = parse("float-eq crates/a/src/lib.rs 1\n").unwrap();
-        // Count increase in a known file.
+        let baseline = parse("version 2\nrule float-eq 1\nfloat-eq crates/a/src/lib.rs 1\n").unwrap();
         let more = vec![
             finding(Rule::FloatEq, "crates/a/src/lib.rs", 1),
             finding(Rule::FloatEq, "crates/a/src/lib.rs", 2),
@@ -136,7 +280,6 @@ mod tests {
         let d = diff(&more, &baseline);
         assert_eq!(d.regressions.len(), 1);
         assert_eq!(d.regressions[0].2, 2);
-        // A fresh file not in the baseline at all.
         let fresh = vec![finding(Rule::Panicking, "crates/c/src/lib.rs", 5)];
         assert!(!diff(&fresh, &baseline).is_clean());
     }
@@ -156,11 +299,23 @@ mod tests {
         assert!(parse("no-such-rule f.rs 1\n").is_err());
         assert!(parse("float-eq f.rs not-a-number\n").is_err());
         assert!(parse("float-eq f.rs 1\nfloat-eq f.rs 2\n").is_err());
+        assert!(parse("version 99\n").is_err());
+        assert!(parse("version x\n").is_err());
+        assert!(parse("rule float-eq\n").is_err());
+        assert!(parse("rule float-eq 1\nrule float-eq 1\n").is_err());
+        assert!(parse("rule no-such-rule 1\n").is_err());
     }
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let map = parse("# header\n\nfloat-eq a.rs 1\n").unwrap();
-        assert_eq!(map.len(), 1);
+        let b = parse("# header\n\nversion 2\nfloat-eq a.rs 1\n").unwrap();
+        assert_eq!(b.entries.len(), 1);
+    }
+
+    #[test]
+    fn render_pins_only_rules_with_entries() {
+        let text = render(&[finding(Rule::NondetIter, "a.rs", 1)]);
+        assert!(text.contains("rule nondet-iter 1"));
+        assert!(!text.contains("rule float-eq"));
     }
 }

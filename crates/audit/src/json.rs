@@ -1,0 +1,333 @@
+//! A minimal JSON value model with a canonical, byte-stable encoder and a
+//! strict parser — the same hand-rolled approach as `snbc-telemetry`'s
+//! encoder, kept local because `snbc-audit` depends on nothing.
+//!
+//! The encoder emits no insignificant whitespace and preserves object key
+//! *insertion order* (objects are `Vec<(String, Value)>`), so
+//! `render(parse(render(v))) == render(v)` byte-for-byte. Numbers are
+//! integers only: every quantity the audit reports (lines, counts, versions)
+//! is integral, and refusing floats keeps round-trips exact.
+
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Canonical rendering: no whitespace, insertion-ordered keys.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            // audit:allow(lossy-cast) — char→u32 is a lossless widening.
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32); // audit:allow(lossy-cast)
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Strict parse of a complete JSON document (trailing garbage is an error).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect_lit(bytes, pos, "null", Value::Null),
+        Some(b't') => expect_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => expect_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let val = parse_value(bytes, pos)?;
+                pairs.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if bytes[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+                return Err(format!(
+                    "float at byte {start}: the audit schema is integer-only"
+                ));
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .map(Value::Int)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at {pos}", *c as char, pos = *pos)),
+    }
+}
+
+fn expect_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let start = *pos;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad codepoint at byte {pos}", pos = *pos))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            c if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full character.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("bad utf8 at byte {pos}", pos = *pos))?;
+                let ch = s.chars().next().unwrap_or('\u{FFFD}');
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let doc = obj(vec![
+            ("schema", Value::Str("snbc-audit/2".into())),
+            ("count", Value::Int(3)),
+            ("ok", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "items",
+                Value::Arr(vec![Value::Int(1), Value::Str("a\"b\\c\nd".into())]),
+            ),
+        ]);
+        let text = render(&doc);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(render(&parsed), text);
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let text = r#"{"z":1,"a":2}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(render(&v), text);
+    }
+
+    #[test]
+    fn control_chars_escape_and_parse() {
+        let doc = Value::Str("tab\tnl\nquote\"bs\\bell\u{7}".into());
+        let text = render(&doc);
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(render(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn floats_are_rejected() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("[1e9]").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+    }
+
+    #[test]
+    fn negative_ints_parse() {
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+    }
+}

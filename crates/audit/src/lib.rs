@@ -7,24 +7,40 @@
 //! This crate is the standing gate against that class of bug:
 //!
 //! - a comment/string-aware tokenizer ([`tokenizer`]) — no `syn`, std only;
-//! - soundness rules ([`rules`]): exact float comparisons, panicking calls in
-//!   solver library code, lossy numeric casts;
+//! - a brace-matched item tree ([`syntax`]) mapping every token to its
+//!   scope, statement span, and structural `#[cfg(test)]`/`#[test]` status;
+//! - per-scope `use`-alias symbol tables ([`scopes`]) so rules resolve
+//!   renamed imports instead of pattern-matching raw paths;
+//! - soundness + determinism rules ([`rules`]): exact float comparisons,
+//!   panicking calls and swallowed `Result`s in solver library code, lossy
+//!   numeric casts, `HashMap`/`HashSet` iteration, raw `thread::spawn` /
+//!   `Instant::now` / `std::env` reads outside their owner crates, and
+//!   unordered float reductions over `par_map_collect` output;
 //! - architecture rules ([`arch`]): Cargo.toml dependencies must match the
 //!   DESIGN.md DAG, externals limited to `rand`/`proptest`/`criterion`/`serde`;
-//! - a regression baseline ([`baseline`]) with inline
-//!   `// audit:allow(<rule>)` suppressions.
+//! - a versioned regression baseline ([`baseline`], format v2) with
+//!   statement-scoped `// audit:allow(<rule>)` suppressions;
+//! - deterministic machine reports ([`sarif`] over the canonical [`json`]
+//!   encoder): `--format json` (`snbc-audit/2`) and `--format sarif`
+//!   (SARIF 2.1.0), byte-identical across runs and `SNBC_THREADS`.
 //!
 //! The binary exits non-zero on regressions, so `ci.sh` and the tier-1 test
-//! suite can use it as a gate. The runtime counterpart is the `sanitize`
-//! cargo feature on `snbc-linalg`/`snbc-lp`/`snbc-sdp`, which asserts
-//! finiteness and step invariants inside the hot loops themselves.
+//! suite can use it as a gate; `snbc-audit explain <rule>` documents each
+//! rule. See `docs/AUDIT.md` for the full catalog and formats. The runtime
+//! counterpart is the `sanitize` cargo feature on
+//! `snbc-linalg`/`snbc-lp`/`snbc-sdp`, which asserts finiteness and step
+//! invariants inside the hot loops themselves.
 
 pub mod arch;
+pub mod json;
+pub mod sarif;
+pub mod scopes;
+pub mod syntax;
 pub mod baseline;
 pub mod rules;
 pub mod tokenizer;
 
-use rules::{Finding, Rule, ScanOptions};
+use rules::{Finding, ScanOptions};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -42,6 +58,12 @@ pub const THREAD_OWNER_CRATES: &[&str] = &["par", "telemetry"];
 /// through `snbc_trace::Stopwatch` / `snbc_trace::now_us` so all timings sit
 /// on the single trace epoch (`raw-instant` rule).
 pub const INSTANT_OWNER_CRATES: &[&str] = &["trace", "telemetry", "par"];
+
+/// Crates allowed to read the process environment: the deterministic runtime
+/// (`SNBC_THREADS`), the CLI (user-facing flags), and the audit tool itself.
+/// Everywhere else an env read is a hidden input that breaks run-report
+/// reproducibility (`env-read` rule).
+pub const ENV_OWNER_CRATES: &[&str] = &["par", "cli", "audit"];
 
 /// Configuration for a workspace audit run.
 #[derive(Debug, Clone)]
@@ -97,6 +119,9 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
             check_panicking: SOLVER_CRATES.contains(&crate_name.as_str()),
             check_raw_thread: !THREAD_OWNER_CRATES.contains(&crate_name.as_str()),
             check_raw_instant: !INSTANT_OWNER_CRATES.contains(&crate_name.as_str()),
+            check_swallowed_result: SOLVER_CRATES.contains(&crate_name.as_str()),
+            check_env_read: !ENV_OWNER_CRATES.contains(&crate_name.as_str()),
+            check_unordered_reduce: crate_name != "par",
         };
         let mut sources = Vec::new();
         collect_rs_files(&src_dir, &mut sources)?;
@@ -117,14 +142,7 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
 /// Render findings grouped by rule, for terminal output.
 pub fn render_findings(findings: &[Finding]) -> String {
     let mut out = String::new();
-    for rule in [
-        Rule::Arch,
-        Rule::Panicking,
-        Rule::FloatEq,
-        Rule::LossyCast,
-        Rule::RawThread,
-        Rule::RawInstant,
-    ] {
+    for rule in rules::RULES.iter().map(|info| info.rule) {
         let of_rule: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
         if of_rule.is_empty() {
             continue;

@@ -3,13 +3,30 @@
 //!
 //! ```text
 //! snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]
+//!            [--format text|json|sarif] [--output <file>]
+//! snbc-audit explain <rule-id>
 //! ```
+//!
+//! In `json`/`sarif` mode the document is the **only** thing written to
+//! stdout (diagnostics go to stderr) and its bytes are deterministic:
+//! identical across runs and across `SNBC_THREADS` values. `--output` writes
+//! the document to a file instead. The gate semantics are unchanged by the
+//! format.
 //!
 //! Exit codes: 0 = clean vs baseline, 1 = regressions, 2 = usage/IO error.
 
+use snbc_audit::rules::{Rule, RULES};
+use snbc_audit::sarif::{render_json_report, render_sarif, Report};
 use snbc_audit::{audit_workspace, baseline, render_findings, AuditConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -27,15 +44,24 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list] \
+                     [--format text|json|sarif] [--output <file>] | snbc-audit explain <rule-id>";
+
 fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut update = false;
     let mut list = false;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "explain" => {
+                let id = args.next().ok_or("explain needs a rule id")?;
+                return explain(&id);
+            }
             "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
             "--baseline" => {
                 baseline_path =
@@ -43,10 +69,19 @@ fn run() -> Result<bool, String> {
             }
             "--update-baseline" => update = true,
             "--list" => list = true,
+            "--format" => {
+                format = match args.next().ok_or("--format needs a value")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (text|json|sarif)")),
+                }
+            }
+            "--output" => {
+                output = Some(PathBuf::from(args.next().ok_or("--output needs a value")?))
+            }
             "--help" | "-h" => {
-                println!(
-                    "snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]"
-                );
+                println!("{USAGE}");
                 return Ok(true);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -64,19 +99,52 @@ fn run() -> Result<bool, String> {
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("audit-baseline.txt"));
 
     let report = audit_workspace(&AuditConfig { root: root.clone() })?;
-    println!(
+
+    // Diagnostics go to stdout in text mode, stderr otherwise: machine modes
+    // must keep stdout byte-clean for the document.
+    let diag = |msg: &str| {
+        if format == Format::Text {
+            println!("{msg}");
+        } else {
+            eprintln!("{msg}");
+        }
+    };
+
+    diag(&format!(
         "snbc-audit: scanned {} source files, {} finding(s)",
         report.files_scanned,
         report.findings.len()
-    );
-    if list && !report.findings.is_empty() {
+    ));
+    if list && !report.findings.is_empty() && format == Format::Text {
         print!("{}", render_findings(&report.findings));
+    }
+
+    match format {
+        Format::Text => {}
+        Format::Json | Format::Sarif => {
+            let doc = Report::new(report.files_scanned, report.findings.clone());
+            let text = match format {
+                Format::Json => render_json_report(&doc),
+                _ => render_sarif(&doc),
+            };
+            match &output {
+                Some(path) => {
+                    std::fs::write(path, text.as_bytes())
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    diag(&format!("snbc-audit: report written to {}", path.display()));
+                }
+                None => println!("{text}"),
+            }
+        }
     }
 
     if update {
         std::fs::write(&baseline_path, baseline::render(&report.findings))
             .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
-        println!("snbc-audit: baseline written to {}", baseline_path.display());
+        diag(&format!(
+            "snbc-audit: baseline written to {}",
+            baseline_path.display()
+        ));
         return Ok(true);
     }
 
@@ -85,25 +153,31 @@ fn run() -> Result<bool, String> {
             .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
         baseline::parse(&text)?
     } else {
-        println!(
+        diag(&format!(
             "snbc-audit: no baseline at {} (treating all findings as regressions)",
             baseline_path.display()
-        );
-        baseline::BaselineMap::new()
+        ));
+        baseline::Baseline::default()
     };
 
     let diff = baseline::diff(&report.findings, &tolerated);
+    for (rule, recorded, current) in &diff.stale {
+        diag(&format!(
+            "snbc-audit: baseline entries for [{}] are stale (recorded v{recorded}, rule is v{current}) — its findings count as regressions until --update-baseline",
+            rule.id()
+        ));
+    }
     for (rule, file, current, allowed) in &diff.improvements {
-        println!(
+        diag(&format!(
             "snbc-audit: improvement: [{}] {} now {} (baseline tolerates {}) — consider --update-baseline",
             rule.id(),
             file,
             current,
             allowed
-        );
+        ));
     }
     if diff.is_clean() {
-        println!("snbc-audit: OK (no regressions vs baseline)");
+        diag("snbc-audit: OK (no regressions vs baseline)");
         return Ok(true);
     }
 
@@ -128,4 +202,27 @@ fn run() -> Result<bool, String> {
         "snbc-audit: fix the findings, annotate `// audit:allow(<rule>)` where exactness is intended, or run with --update-baseline"
     );
     Ok(false)
+}
+
+/// `snbc-audit explain <rule>`: print one rule's metadata, or list all rules
+/// when the id is unknown.
+fn explain(id: &str) -> Result<bool, String> {
+    match Rule::from_id(id) {
+        Some(rule) => {
+            let info = rule.info();
+            println!("{} (v{})", info.id, info.version);
+            println!("  summary:   {}", info.summary);
+            println!("  rationale: {}", info.rationale);
+            println!("  fix:       {}", info.fix);
+            println!("  suppress:  // audit:allow({}) on the statement (any of its lines) or the line above", info.id);
+            Ok(true)
+        }
+        None => {
+            eprintln!("snbc-audit: unknown rule `{id}`. Known rules:");
+            for info in RULES {
+                eprintln!("  {:18} v{}  {}", info.id, info.version, info.summary);
+            }
+            Err(format!("unknown rule `{id}`"))
+        }
+    }
 }

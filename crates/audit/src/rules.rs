@@ -1,4 +1,4 @@
-//! The numerical-soundness rules applied to tokenized Rust source.
+//! The soundness + determinism rules applied to tokenized Rust source.
 //!
 //! Rule identifiers (used in baselines and `// audit:allow(...)` markers):
 //!
@@ -7,14 +7,27 @@
 //! | `float-eq` | `==` / `!=` with a float literal on either side |
 //! | `panicking` | `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in solver-crate library code |
 //! | `lossy-cast` | `as` casts to a numeric type narrower than 64 bits (`f32`, `i8..i32`, `u8..u32`) |
-//! | `raw-thread` | `thread::spawn` outside `crates/par` / `crates/telemetry` — use `snbc-par` so determinism and panic propagation are centralized |
-//! | `raw-instant` | `Instant::now` outside `crates/trace` / `crates/telemetry` / `crates/par` — use `snbc_trace::Stopwatch` / `now_us` so every timestamp shares the trace clock |
+//! | `raw-thread` | `thread::spawn` outside `crates/par` / `crates/telemetry` |
+//! | `raw-instant` | `Instant::now` outside `crates/trace` / `crates/telemetry` / `crates/par` |
+//! | `nondet-iter` | iterating a `HashMap` / `HashSet` in non-test library code |
+//! | `swallowed-result` | `let _ =` / bare `.ok();` discarding a value in solver crates |
+//! | `env-read` | `std::env::var{,_os}` / `vars{,_os}` outside `crates/par`, `crates/cli`, `crates/audit` |
+//! | `unordered-reduce` | `+=` / `.sum()` accumulation over `par_map_collect` output outside `crates/par` |
 //!
-//! All rules skip `#[cfg(test)]` / `#[test]` items: test code is allowed to
-//! unwrap and compare exactly. Suppressions apply on the finding's line or the
-//! line directly above it.
+//! Rules are **scope-aware**: they run over the [`crate::syntax::ItemTree`]
+//! (so `#[cfg(test)]` / `#[test]` items are skipped structurally, nested
+//! items included) and resolve names through the per-scope
+//! [`crate::scopes::ScopeTable`], so `use std::collections::HashMap as Map`
+//! does not hide a nondeterministic map and `use myclock::Instant` does not
+//! false-positive the clock rule. Suppressions attach to the **enclosing
+//! statement span**: a `// audit:allow(<rule>)` on any line of a multi-line
+//! statement, or on the line directly above it, silences that rule inside
+//! the statement.
 
+use crate::scopes::{path_is, ScopeTable};
+use crate::syntax::{ItemTree, ScopeKind};
 use crate::tokenizer::{tokenize, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Rule identity. `Arch` findings come from `arch.rs`, not from token scans.
@@ -25,31 +38,171 @@ pub enum Rule {
     LossyCast,
     RawThread,
     RawInstant,
+    NondetIter,
+    SwallowedResult,
+    EnvRead,
+    UnorderedReduce,
     Arch,
 }
 
+/// Static metadata for one rule: identity, a semantic version (bumping it
+/// invalidates only that rule's baseline-v2 entries), and the prose used by
+/// `snbc-audit explain <rule>` and the SARIF rule table.
+#[derive(Debug)]
+pub struct RuleInfo {
+    pub rule: Rule,
+    pub id: &'static str,
+    /// Bumped whenever the rule's matching semantics tighten or change.
+    pub version: u32,
+    /// One-line summary (SARIF `shortDescription`).
+    pub summary: &'static str,
+    /// Why the rule exists (SARIF `fullDescription`, `explain` output).
+    pub rationale: &'static str,
+    /// Suggested fix (SARIF `help`, `explain` output).
+    pub fix: &'static str,
+}
+
+/// All rules, in the canonical report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        rule: Rule::Arch,
+        id: "arch",
+        version: 1,
+        summary: "Cargo.toml dependencies must match the DESIGN.md DAG",
+        rationale: "The workspace layering (linalg under the solvers, observability \
+                    crates at the bottom, core above everything) is what keeps the \
+                    from-scratch solver stack auditable; an undeclared edge silently \
+                    couples layers and invalidates the DESIGN.md inventory.",
+        fix: "Remove the dependency, or update DESIGN.md and the arch table in \
+              crates/audit/src/arch.rs together.",
+    },
+    RuleInfo {
+        rule: Rule::Panicking,
+        id: "panicking",
+        version: 1,
+        summary: "panicking call in solver library code",
+        rationale: "The LP/SDP/SOS/interval stack stands in for MOSEK-class solvers \
+                    inside the CEGIS loop; a panic there aborts certificate synthesis \
+                    instead of surfacing a recoverable SdpError the verifier can act on.",
+        fix: "Return a Result (SdpError or a crate error) instead of .unwrap()/.expect()/ \
+              panic!; annotate `// audit:allow(panicking)` only for invariants that are \
+              genuinely unreachable.",
+    },
+    RuleInfo {
+        rule: Rule::FloatEq,
+        id: "float-eq",
+        version: 1,
+        summary: "exact float comparison against a literal",
+        rationale: "Exact `==`/`!=` against float literals inside IPM iterations or \
+                    barrier checks turns rounding noise into control-flow divergence — \
+                    a 'verified' certificate can hinge on one ulp.",
+        fix: "Compare with an explicit tolerance ((a - b).abs() < eps), or annotate \
+              `// audit:allow(float-eq)` where exactness is intended (sentinels, \
+              sign checks against 0.0).",
+    },
+    RuleInfo {
+        rule: Rule::LossyCast,
+        id: "lossy-cast",
+        version: 1,
+        summary: "numeric cast to a type narrower than 64 bits",
+        rationale: "`as f32`/`as i32`-style casts silently truncate; solver indices and \
+                    residuals must stay at full width until an explicit, checked \
+                    narrowing.",
+        fix: "Use the 64-bit type, TryFrom, or an explicit clamped conversion; annotate \
+              `// audit:allow(lossy-cast)` when the narrowing is intended.",
+    },
+    RuleInfo {
+        rule: Rule::RawThread,
+        id: "raw-thread",
+        version: 2,
+        summary: "raw thread::spawn outside the deterministic runtime",
+        rationale: "All parallelism must go through snbc-par: its index-ordered \
+                    reductions and SNBC_THREADS pool are what make certificates bitwise \
+                    identical at any thread count, and it rethrows worker panics at \
+                    scope exit. A raw spawn bypasses all three guarantees.",
+        fix: "Use snbc_par::{join, par_map_collect, par_map_reduce, par_for_chunks}; \
+              annotate `// audit:allow(raw-thread)` only inside sanctioned runtime code.",
+    },
+    RuleInfo {
+        rule: Rule::RawInstant,
+        id: "raw-instant",
+        version: 2,
+        summary: "raw Instant::now outside the trace clock owners",
+        rationale: "Every timestamp must sit on the single snbc-trace epoch so run \
+                    reports and Perfetto timelines line up; a raw Instant::now creates \
+                    a second clock that drifts from the trace.",
+        fix: "Time with snbc_trace::Stopwatch or snbc_trace::now_us; annotate \
+              `// audit:allow(raw-instant)` only inside the clock-owner crates.",
+    },
+    RuleInfo {
+        rule: Rule::NondetIter,
+        id: "nondet-iter",
+        version: 1,
+        summary: "iteration over a HashMap/HashSet in library code",
+        rationale: "HashMap/HashSet iteration order is randomized per process; any \
+                    float reduction, output vector, or counterexample list built by \
+                    iterating one breaks the bitwise-identical-certificates contract \
+                    (docs/PARALLELISM.md) in a way the SNBC_THREADS matrix cannot catch.",
+        fix: "Use BTreeMap/BTreeSet, or collect and sort by a stable key before \
+              iterating; annotate `// audit:allow(nondet-iter)` when the order provably \
+              cannot reach any output (pure membership sets).",
+    },
+    RuleInfo {
+        rule: Rule::SwallowedResult,
+        id: "swallowed-result",
+        version: 1,
+        summary: "discarded value (`let _ =` or bare `.ok();`) in solver code",
+        rationale: "The solver crates signal numerical failure through Results \
+                    (SdpError); `let _ =` or a bare `.ok();` makes an infeasible solve \
+                    or a failed factorization vanish instead of reaching telemetry and \
+                    the CEGIS round logic.",
+        fix: "Propagate with `?`, handle the Err arm explicitly, or document the \
+              discard with `// audit:allow(swallowed-result)` and a reason.",
+    },
+    RuleInfo {
+        rule: Rule::EnvRead,
+        id: "env-read",
+        version: 1,
+        summary: "environment read outside the sanctioned config surfaces",
+        rationale: "Run reports are only reproducible if every input is visible: \
+                    SNBC_THREADS is read once by snbc-par and recorded in telemetry, \
+                    and the CLI owns user-facing flags. An ad-hoc std::env::var deep in \
+                    a solver changes behavior invisibly to the report.",
+        fix: "Thread the setting through a config struct or the CLI, or read it in \
+              crates/par; annotate `// audit:allow(env-read)` for debug-only escape \
+              hatches that cannot affect results.",
+    },
+    RuleInfo {
+        rule: Rule::UnorderedReduce,
+        id: "unordered-reduce",
+        version: 1,
+        summary: "ad-hoc accumulation over par_map_collect output",
+        rationale: "Float reductions over parallel-produced data must have one \
+                    canonical evaluation order; snbc_par::par_map_reduce's fixed chunk \
+                    grid plus serial index-ascending fold is that order. Ad-hoc \
+                    `+=`/`.sum()` loops over par_map_collect output are easy to \
+                    reorder accidentally during refactors.",
+        fix: "Use snbc_par::par_map_reduce, or keep the serial fold and annotate \
+              `// audit:allow(unordered-reduce)` noting why the order is fixed \
+              (index-ascending over the already-ordered output).",
+    },
+];
+
 impl Rule {
+    pub fn info(self) -> &'static RuleInfo {
+        RULES.iter().find(|r| r.rule == self).expect("rule metadata")
+    }
+
     pub fn id(self) -> &'static str {
-        match self {
-            Rule::FloatEq => "float-eq",
-            Rule::Panicking => "panicking",
-            Rule::LossyCast => "lossy-cast",
-            Rule::RawThread => "raw-thread",
-            Rule::RawInstant => "raw-instant",
-            Rule::Arch => "arch",
-        }
+        self.info().id
+    }
+
+    pub fn version(self) -> u32 {
+        self.info().version
     }
 
     pub fn from_id(id: &str) -> Option<Rule> {
-        match id {
-            "float-eq" => Some(Rule::FloatEq),
-            "panicking" => Some(Rule::Panicking),
-            "lossy-cast" => Some(Rule::LossyCast),
-            "raw-thread" => Some(Rule::RawThread),
-            "raw-instant" => Some(Rule::RawInstant),
-            "arch" => Some(Rule::Arch),
-            _ => None,
-        }
+        RULES.iter().find(|r| r.id == id).map(|r| r.rule)
     }
 }
 
@@ -78,117 +231,696 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Per-file scan options.
+/// Per-file scan options, derived from the crate the file belongs to.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScanOptions {
-    /// Apply the `panicking` rule (library code of solver crates only).
+    /// `panicking` (library code of solver crates only).
     pub check_panicking: bool,
-    /// Apply the `raw-thread` rule (every crate except `par` and
-    /// `telemetry`, which own the sanctioned threading primitives).
+    /// `raw-thread` (everywhere except the thread-owner crates).
     pub check_raw_thread: bool,
-    /// Apply the `raw-instant` rule (every crate except `trace`,
-    /// `telemetry`, and `par`, which own the sanctioned clocks).
+    /// `raw-instant` (everywhere except the clock-owner crates).
     pub check_raw_instant: bool,
+    /// `swallowed-result` (solver crates only).
+    pub check_swallowed_result: bool,
+    /// `env-read` (everywhere except par/cli/audit).
+    pub check_env_read: bool,
+    /// `unordered-reduce` (everywhere except par itself).
+    pub check_unordered_reduce: bool,
+}
+
+/// Shared context handed to every rule: the token stream plus the syntax and
+/// symbol layers built over it.
+pub struct RuleCtx<'a> {
+    pub file: &'a str,
+    pub tokens: &'a [Token],
+    pub tree: &'a ItemTree,
+    pub scopes: &'a ScopeTable,
+    pub opts: ScanOptions,
+}
+
+/// A finding still carrying its anchor token, so suppression can look up the
+/// enclosing statement span before the token index is dropped.
+type Hit = (usize, Finding);
+
+impl RuleCtx<'_> {
+    fn in_test(&self, i: usize) -> bool {
+        self.tree.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    fn path_is(&self, i: usize, canonical: &str, min_segments: usize) -> bool {
+        path_is(self.scopes, self.tokens, self.tree, i, canonical, min_segments)
+    }
+
+    fn hit(&self, rule: Rule, tok: usize, message: String) -> Hit {
+        (
+            tok,
+            Finding {
+                rule,
+                file: self.file.to_string(),
+                line: self.tokens[tok].line,
+                message,
+            },
+        )
+    }
 }
 
 /// Scan one source file and return its (unsuppressed) findings.
 pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding> {
     let lexed = tokenize(src);
-    let masked = test_region_mask(&lexed.tokens);
-    let mut findings = Vec::new();
+    let tree = ItemTree::build(&lexed.tokens);
+    let scopes = ScopeTable::build(&lexed.tokens, &tree);
+    let ctx = RuleCtx {
+        file: rel_path,
+        tokens: &lexed.tokens,
+        tree: &tree,
+        scopes: &scopes,
+        opts,
+    };
 
-    for (i, tok) in lexed.tokens.iter().enumerate() {
-        if masked[i] {
+    let mut hits: Vec<Hit> = Vec::new();
+    hits.extend(float_eq(&ctx));
+    hits.extend(lossy_cast(&ctx));
+    if opts.check_panicking {
+        hits.extend(panicking(&ctx));
+    }
+    if opts.check_raw_thread {
+        hits.extend(raw_thread(&ctx));
+    }
+    if opts.check_raw_instant {
+        hits.extend(raw_instant(&ctx));
+    }
+    hits.extend(nondet_iter(&ctx));
+    if opts.check_swallowed_result {
+        hits.extend(swallowed_result(&ctx));
+    }
+    if opts.check_env_read {
+        hits.extend(env_read(&ctx));
+    }
+    if opts.check_unordered_reduce {
+        hits.extend(unordered_reduce(&ctx));
+    }
+
+    let mut findings = apply_suppressions(hits, &lexed, &tree);
+    findings.sort();
+    findings
+}
+
+/// Drop findings whose enclosing statement span (or the line directly above
+/// it) carries an `audit:allow(<rule>)` marker.
+fn apply_suppressions(hits: Vec<Hit>, lexed: &Lexed, tree: &ItemTree) -> Vec<Finding> {
+    hits.into_iter()
+        .filter(|(tok, f)| {
+            let (lo, hi) = tree.stmt_span(*tok, f.line);
+            let lo = lo.min(f.line);
+            let hi = hi.max(f.line);
+            !lexed
+                .suppressions
+                .iter()
+                .any(|s| s.rule == f.rule.id() && s.line + 1 >= lo && s.line <= hi)
+        })
+        .map(|(_, f)| f)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Token-level soundness rules.
+
+fn float_eq(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Punct {
             continue;
         }
-        match tok.kind {
-            TokenKind::Punct if tok.text == "==" || tok.text == "!=" => {
-                if float_operand(&lexed.tokens, i) {
-                    findings.push(Finding {
-                        rule: Rule::FloatEq,
-                        file: rel_path.to_string(),
-                        line: tok.line,
-                        message: format!(
-                            "exact float comparison `{}` — use a tolerance or annotate audit:allow(float-eq)",
-                            tok.text
-                        ),
-                    });
+        if (tok.text == "==" || tok.text == "!=") && float_operand(ctx.tokens, i) {
+            hits.push(ctx.hit(
+                Rule::FloatEq,
+                i,
+                format!(
+                    "exact float comparison `{}` — use a tolerance or annotate audit:allow(float-eq)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+fn lossy_cast(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Ident || tok.text != "as" {
+            continue;
+        }
+        if let Some(next) = ctx.tokens.get(i + 1) {
+            if next.kind == TokenKind::Ident && is_narrow_numeric(&next.text) {
+                hits.push(ctx.hit(
+                    Rule::LossyCast,
+                    i,
+                    format!("potentially lossy cast `as {}`", next.text),
+                ));
+            }
+        }
+    }
+    hits
+}
+
+fn panicking(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = ctx.tokens.get(i + 1);
+        let is_macro_bang = matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "!");
+        let msg = match tok.text.as_str() {
+            "panic" | "unreachable" | "todo" | "unimplemented" if is_macro_bang => {
+                Some(format!("`{}!` in solver library code", tok.text))
+            }
+            "unwrap" | "expect" => {
+                let dotted = i > 0 && ctx.text(i - 1) == ".";
+                let called = matches!(next, Some(n) if n.text == "(");
+                if dotted && called {
+                    Some(format!(
+                        "`.{}()` in solver library code — return an Error instead",
+                        tok.text
+                    ))
+                } else {
+                    None
                 }
             }
-            TokenKind::Ident if tok.text == "as" => {
-                if let Some(next) = lexed.tokens.get(i + 1) {
-                    if next.kind == TokenKind::Ident && is_narrow_numeric(&next.text) {
-                        findings.push(Finding {
-                            rule: Rule::LossyCast,
-                            file: rel_path.to_string(),
-                            line: tok.line,
-                            message: format!("potentially lossy cast `as {}`", next.text),
-                        });
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            hits.push(ctx.hit(Rule::Panicking, i, msg));
+        }
+    }
+    hits
+}
+
+fn raw_thread(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.text != "spawn" || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Scoped `s.spawn(..)` inside `thread::scope` is a method call and is
+        // judged by the `scope` call site; only path-shaped spawns count.
+        if ctx.path_is(i, "std::thread::spawn", 2) {
+            hits.push(ctx.hit(
+                Rule::RawThread,
+                i,
+                "raw `thread::spawn` — route parallelism through `snbc-par` \
+                 (deterministic reduction + panic propagation) or annotate \
+                 audit:allow(raw-thread)"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+fn raw_instant(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.text != "now" || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if ctx.path_is(i, "std::time::Instant::now", 2) {
+            hits.push(ctx.hit(
+                Rule::RawInstant,
+                i,
+                "raw `Instant::now` — use `snbc_trace::Stopwatch` (or \
+                 `snbc_trace::now_us`) so timings share the trace clock, or \
+                 annotate audit:allow(raw-instant)"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// Scope-aware determinism + error-hygiene rules.
+
+const NONDET_TYPES: &[&str] = &["std::collections::HashMap", "std::collections::HashSet"];
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Chain tails that reduce an iterator into one value.
+const REDUCE_METHODS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+fn nondet_iter(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for_each_fn(ctx, |ctx, fid| {
+        let tracked = tracked_vars(ctx, fid, |ctx, i| {
+            NONDET_TYPES.iter().any(|t| ctx.path_is(i, t, 1))
+        });
+        if tracked.is_empty() {
+            return;
+        }
+        let scope = &ctx.tree.scopes[fid as usize];
+        let (lo, hi) = scope.body;
+        let mut i = lo;
+        while i < hi {
+            if ctx.in_test(i) || ctx.tree.enclosing_fn(i) != Some(fid) {
+                i += 1;
+                continue;
+            }
+            // `for pat in [&][mut] var {` — iterating the collection itself.
+            if ctx.text(i) == "for" {
+                if let Some((var_tok, var)) = for_loop_head(ctx, i, hi) {
+                    if tracked.contains(var) && ctx.text(var_tok + 1) == "{" {
+                        hits.push(ctx.hit(
+                            Rule::NondetIter,
+                            var_tok,
+                            format!(
+                                "iterating `{var}` (HashMap/HashSet) — order is \
+                                 nondeterministic; use BTreeMap/BTreeSet or sort a \
+                                 collected Vec, or annotate audit:allow(nondet-iter)"
+                            ),
+                        ));
                     }
                 }
             }
-            TokenKind::Ident
-                if opts.check_raw_thread
-                    && tok.text == "thread"
-                    && raw_thread_spawn(&lexed.tokens, i) =>
+            // `var.iter()` / `.keys()` / … anywhere in the body.
+            if ctx.is_ident(i)
+                && ITER_METHODS.contains(&ctx.text(i))
+                && ctx.text(i + 1) == "("
+                && i >= 2
+                && ctx.text(i - 1) == "."
+                && ctx.is_ident(i - 2)
+                && tracked.contains(ctx.text(i - 2))
             {
-                findings.push(Finding {
-                    rule: Rule::RawThread,
-                    file: rel_path.to_string(),
-                    line: tok.line,
-                    message: "raw `thread::spawn` — route parallelism through `snbc-par` \
-                              (deterministic reduction + panic propagation) or annotate \
-                              audit:allow(raw-thread)"
-                        .to_string(),
-                });
+                let var = ctx.text(i - 2).to_string();
+                hits.push(ctx.hit(
+                    Rule::NondetIter,
+                    i,
+                    format!(
+                        "`{var}.{}()` iterates a HashMap/HashSet — order is \
+                         nondeterministic; use BTreeMap/BTreeSet or sort a collected \
+                         Vec, or annotate audit:allow(nondet-iter)",
+                        ctx.text(i)
+                    ),
+                ));
             }
-            TokenKind::Ident
-                if opts.check_raw_instant
-                    && tok.text == "Instant"
-                    && raw_instant_now(&lexed.tokens, i) =>
+            i += 1;
+        }
+    });
+    hits
+}
+
+fn swallowed_result(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // `let _ = expr;` (the wildcard exactly, not `_named`).
+        if tok.text == "let"
+            && ctx.text(i + 1) == "_"
+            && matches!(ctx.text(i + 2), "=" | ":")
+        {
+            hits.push(ctx.hit(
+                Rule::SwallowedResult,
+                i,
+                "`let _ =` discards a value in solver code — errors must surface as \
+                 SdpError/telemetry; handle it or annotate audit:allow(swallowed-result)"
+                    .to_string(),
+            ));
+        }
+        // Bare `.ok();` as a whole statement: the Result is dropped on the floor.
+        if tok.text == "ok"
+            && ctx.text(i - 1) == "."
+            && ctx.text(i + 1) == "("
+            && ctx.text(i + 2) == ")"
+            && ctx.text(i + 3) == ";"
+            && stmt_discards_value(ctx, i)
+        {
+            hits.push(ctx.hit(
+                Rule::SwallowedResult,
+                i,
+                "bare `.ok();` swallows a Result in solver code — handle the Err arm \
+                 or annotate audit:allow(swallowed-result)"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// True when the statement containing token `i` never binds or returns the
+/// value (no `let`, `=`, or `return` before the call).
+fn stmt_discards_value(ctx: &RuleCtx, i: usize) -> bool {
+    let sid = match ctx.tree.stmt_of.get(i) {
+        Some(&s) if s != crate::syntax::NO_STMT => s,
+        _ => return true,
+    };
+    let mut j = i;
+    while j > 0 && ctx.tree.stmt_of.get(j - 1) == Some(&sid) {
+        j -= 1;
+        if matches!(ctx.text(j), "let" | "=" | "return" | "=>") {
+            return false;
+        }
+    }
+    true
+}
+
+fn env_read(ctx: &RuleCtx) -> Vec<Hit> {
+    const READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if READS.contains(&tok.text.as_str())
+            && ctx.text(i + 1) == "("
+            && ctx.path_is(i, &format!("std::env::{}", tok.text), 2)
+        {
+            hits.push(ctx.hit(
+                Rule::EnvRead,
+                i,
+                format!(
+                    "`std::env::{}` outside the sanctioned config surfaces — hidden \
+                     inputs break run-report reproducibility; thread it through a \
+                     config/CLI flag or annotate audit:allow(env-read)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+fn unordered_reduce(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for_each_fn(ctx, |ctx, fid| {
+        let tracked = tracked_vars(ctx, fid, |ctx, i| {
+            ctx.text(i) == "par_map_collect" && ctx.path_is(i, "snbc_par::par_map_collect", 1)
+        });
+        if tracked.is_empty() {
+            return;
+        }
+        let scope = &ctx.tree.scopes[fid as usize];
+        let (lo, hi) = scope.body;
+        let mut i = lo;
+        while i < hi {
+            if ctx.in_test(i) || ctx.tree.enclosing_fn(i) != Some(fid) {
+                i += 1;
+                continue;
+            }
+            // A `for` loop over the parallel output whose body accumulates
+            // with `+=`.
+            if ctx.text(i) == "for" {
+                if let Some((var_tok, var)) = for_loop_head(ctx, i, hi) {
+                    if tracked.contains(var) {
+                        // Find the loop body braces.
+                        let mut b = var_tok;
+                        while b < hi && ctx.text(b) != "{" {
+                            b += 1;
+                        }
+                        let close = match_brace_tokens(ctx.tokens, b, hi);
+                        let mut k = b;
+                        while k + 1 < close {
+                            if ctx.text(k) == "+" && ctx.text(k + 1) == "=" {
+                                hits.push(ctx.hit(
+                                    Rule::UnorderedReduce,
+                                    k,
+                                    format!(
+                                        "`+=` accumulation over `{var}` \
+                                         (par_map_collect output) — route the \
+                                         reduction through snbc_par::par_map_reduce's \
+                                         index-ordered fold or annotate \
+                                         audit:allow(unordered-reduce)"
+                                    ),
+                                ));
+                            }
+                            k += 1;
+                        }
+                        i = close;
+                        continue;
+                    }
+                }
+            }
+            // `var.iter().sum()` / `.fold(..)` chains on the parallel output.
+            if ctx.is_ident(i)
+                && tracked.contains(ctx.text(i))
+                && ctx.text(i.wrapping_sub(1)) != "."
+                && ctx.text(i + 1) == "."
             {
-                findings.push(Finding {
-                    rule: Rule::RawInstant,
-                    file: rel_path.to_string(),
-                    line: tok.line,
-                    message: "raw `Instant::now` — use `snbc_trace::Stopwatch` (or \
-                              `snbc_trace::now_us`) so timings share the trace clock, or \
-                              annotate audit:allow(raw-instant)"
-                        .to_string(),
-                });
+                if let Some(m) = chain_has_reduce(ctx, i, hi) {
+                    hits.push(ctx.hit(
+                        Rule::UnorderedReduce,
+                        m,
+                        format!(
+                            "`.{}()` over `{}` (par_map_collect output) — route the \
+                             reduction through snbc_par::par_map_reduce's index-ordered \
+                             fold or annotate audit:allow(unordered-reduce)",
+                            ctx.text(m),
+                            ctx.text(i)
+                        ),
+                    ));
+                }
             }
-            TokenKind::Ident if opts.check_panicking => {
-                if let Some(msg) = panicking_call(&lexed.tokens, i) {
-                    findings.push(Finding {
-                        rule: Rule::Panicking,
-                        file: rel_path.to_string(),
-                        line: tok.line,
-                        message: msg,
-                    });
+            i += 1;
+        }
+    });
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis helpers.
+
+/// Run `body` for every non-test `fn` scope in the file.
+fn for_each_fn(ctx: &RuleCtx, mut body: impl FnMut(&RuleCtx, u32)) {
+    for (sid, scope) in ctx.tree.scopes.iter().enumerate() {
+        if scope.kind == ScopeKind::Fn && !scope.is_test {
+            body(ctx, sid as u32); // audit:allow(lossy-cast) — scope ids fit u32
+        }
+    }
+}
+
+/// Collect local variable names in fn `fid` whose parameter type or `let`
+/// statement matches `is_target` (e.g. "mentions a resolved HashMap", or
+/// "calls par_map_collect").
+fn tracked_vars(
+    ctx: &RuleCtx,
+    fid: u32,
+    is_target: impl Fn(&RuleCtx, usize) -> bool,
+) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    let scope = &ctx.tree.scopes[fid as usize];
+
+    // Parameters: split the header's paren list at top-level commas; each
+    // segment is `name: Type`.
+    let (hdr_lo, hdr_hi) = (scope.range.0, scope.body.0);
+    let mut i = hdr_lo;
+    while i < hdr_hi && ctx.text(i) != "(" {
+        i += 1;
+    }
+    if i < hdr_hi {
+        let close = match_paren_tokens(ctx.tokens, i, hdr_hi);
+        let mut seg_start = i + 1;
+        let mut depth = 0usize;
+        for j in i + 1..=close.min(hdr_hi.saturating_sub(1)) {
+            let t = ctx.text(j);
+            let at_end = j == close;
+            if matches!(t, "(" | "[" | "<") {
+                depth += 1;
+            } else if matches!(t, ")" | "]" | ">") && !at_end {
+                depth = depth.saturating_sub(1);
+            }
+            if at_end || (t == "," && depth == 0) {
+                // Segment [seg_start, j).
+                let name = (seg_start..j)
+                    .find(|&k| ctx.is_ident(k) && !matches!(ctx.text(k), "mut" | "self"))
+                    .map(|k| ctx.text(k).to_string());
+                let hit = (seg_start..j).any(|k| {
+                    ctx.is_ident(k) && ctx.text(k.wrapping_sub(1)) != "." && is_target(ctx, k)
+                });
+                if let (Some(name), true) = (name, hit) {
+                    tracked.insert(name);
+                }
+                seg_start = j + 1;
+            }
+        }
+    }
+
+    // `let` bindings in the body (anonymous blocks included, nested fns not).
+    let (lo, hi) = scope.body;
+    let mut i = lo;
+    while i < hi {
+        if ctx.text(i) == "let"
+            && ctx.is_ident(i)
+            && ctx.tree.enclosing_fn(i) == Some(fid)
+        {
+            let mut n = i + 1;
+            if ctx.text(n) == "mut" {
+                n += 1;
+            }
+            if ctx.is_ident(n) && ctx.text(n) != "_" {
+                let name = ctx.text(n).to_string();
+                let end = let_stmt_end(ctx.tokens, i, hi);
+                let hit = (i..end).any(|k| {
+                    ctx.is_ident(k) && ctx.text(k.wrapping_sub(1)) != "." && is_target(ctx, k)
+                });
+                if hit {
+                    tracked.insert(name);
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    tracked
+}
+
+/// For a `for` token at `i`, locate the loop's iterated expression: returns
+/// the token index and text of the head identifier after `in` (past `&`/
+/// `mut`/parens), or None when the header is not a plain loop.
+fn for_loop_head<'c>(ctx: &'c RuleCtx, i: usize, hi: usize) -> Option<(usize, &'c str)> {
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    while j < hi {
+        match ctx.text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "in" if depth == 0 && ctx.is_ident(j) => break,
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= hi {
+        return None;
+    }
+    let mut k = j + 1;
+    while k < hi && matches!(ctx.text(k), "&" | "mut") {
+        k += 1;
+    }
+    if ctx.is_ident(k) {
+        Some((k, ctx.text(k)))
+    } else {
+        None
+    }
+}
+
+/// Walk a method chain starting at identifier `i` (`v.iter().map(..).sum()`);
+/// return the token index of the first reduce-family method, if any.
+fn chain_has_reduce(ctx: &RuleCtx, i: usize, hi: usize) -> Option<usize> {
+    let mut j = i + 1;
+    while j + 1 < hi && ctx.text(j) == "." && ctx.is_ident(j + 1) {
+        let m = j + 1;
+        if REDUCE_METHODS.contains(&ctx.text(m)) {
+            return Some(m);
+        }
+        j = m + 1;
+        // Turbofish: `.sum::<f64>()`.
+        if ctx.text(j) == "::" && ctx.text(j + 1) == "<" {
+            j += 2;
+            let mut angle = 1usize;
+            while j < hi && angle > 0 {
+                match ctx.text(j) {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if ctx.text(j) == "(" {
+            j = match_paren_tokens(ctx.tokens, j, hi) + 1;
+        } else if ctx.text(j) != "." {
+            break;
+        }
+    }
+    None
+}
+
+/// Extent of a `let` statement: from the `let` to its `;` at zero
+/// paren/bracket/brace depth (clamped to `hi`).
+fn let_stmt_end(tokens: &[Token], i: usize, hi: usize) -> usize {
+    let (mut p, mut b, mut k) = (0i32, 0i32, 0i32);
+    let mut j = i;
+    while j < hi {
+        match tokens[j].text.as_str() {
+            "(" => p += 1,
+            ")" => p -= 1,
+            "[" => k += 1,
+            "]" => k -= 1,
+            "{" => b += 1,
+            "}" => b -= 1,
+            ";" if p == 0 && b == 0 && k == 0 => return j + 1,
+            _ => {}
+        }
+        if p < 0 || b < 0 || k < 0 {
+            return j;
+        }
+        j += 1;
+    }
+    hi
+}
+
+fn match_brace_tokens(tokens: &[Token], i: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
                 }
             }
             _ => {}
         }
+        j += 1;
     }
-
-    apply_suppressions(findings, &lexed)
+    hi
 }
 
-/// Drop findings that carry an `audit:allow(<rule>)` marker on the same line
-/// or the line directly above.
-fn apply_suppressions(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
-    findings
-        .into_iter()
-        .filter(|f| {
-            !lexed.suppressions.iter().any(|s| {
-                s.rule == f.rule.id() && (s.line == f.line || s.line + 1 == f.line)
-            })
-        })
-        .collect()
+fn match_paren_tokens(tokens: &[Token], i: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        match tokens[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
 }
 
 /// True when either operand of the comparator at `i` is a float literal
-/// (allowing a unary minus and simple unsuffixed parens on the literal side).
+/// (allowing a unary minus on the literal side).
 fn float_operand(tokens: &[Token], i: usize) -> bool {
     let prev_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
     let next_float = match tokens.get(i + 1) {
@@ -202,123 +934,7 @@ fn float_operand(tokens: &[Token], i: usize) -> bool {
 }
 
 fn is_narrow_numeric(ty: &str) -> bool {
-    matches!(
-        ty,
-        "f32" | "i8" | "i16" | "i32" | "u8" | "u16" | "u32"
-    )
-}
-
-/// True when tokens at `i` spell `thread :: spawn` (covers `thread::spawn(..)`
-/// and `std::thread::spawn(..)`; scoped `s.spawn(..)` inside
-/// `thread::scope` does not match and is judged by the `scope` call site).
-fn raw_thread_spawn(tokens: &[Token], i: usize) -> bool {
-    matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "::")
-        && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == "spawn")
-}
-
-/// True when tokens at `i` spell `Instant :: now` (covers `Instant::now()`
-/// and `std::time::Instant::now()`).
-fn raw_instant_now(tokens: &[Token], i: usize) -> bool {
-    matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "::")
-        && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == "now")
-}
-
-/// Recognize panicking constructs at token `i`.
-fn panicking_call(tokens: &[Token], i: usize) -> Option<String> {
-    let t = &tokens[i];
-    let next = tokens.get(i + 1);
-    let is_macro_bang = matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "!");
-    match t.text.as_str() {
-        "panic" | "unreachable" | "todo" | "unimplemented" if is_macro_bang => {
-            Some(format!("`{}!` in solver library code", t.text))
-        }
-        "unwrap" | "expect" => {
-            // Must be a method call: preceded by `.`, followed by `(`.
-            let dotted =
-                i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
-            let called =
-                matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "(");
-            if dotted && called {
-                Some(format!(
-                    "`.{}()` in solver library code — return an Error instead",
-                    t.text
-                ))
-            } else {
-                None
-            }
-        }
-        _ => None,
-    }
-}
-
-/// Compute a boolean mask over tokens marking `#[cfg(test)]` / `#[test]`
-/// items (the attribute plus the entire following item), so rules skip test
-/// code embedded in library files.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[") {
-            // Collect the attribute tokens up to the matching `]`.
-            let attr_start = i;
-            let mut j = i + 2;
-            let mut depth = 1usize;
-            while j < tokens.len() && depth > 0 {
-                match tokens[j].text.as_str() {
-                    "[" => depth += 1,
-                    "]" => depth -= 1,
-                    _ => {}
-                }
-                j += 1;
-            }
-            let attr: Vec<&str> = tokens[attr_start..j].iter().map(|t| t.text.as_str()).collect();
-            if is_test_attr(&attr) {
-                // Mask the attribute and the following item: everything up to
-                // the end of the next balanced `{...}` block, or a `;` at
-                // nesting level zero (e.g. `#[cfg(test)] use ...;`).
-                let mut k = j;
-                let mut brace = 0usize;
-                let mut entered = false;
-                while k < tokens.len() {
-                    match tokens[k].text.as_str() {
-                        "{" => {
-                            brace += 1;
-                            entered = true;
-                        }
-                        "}" => {
-                            brace = brace.saturating_sub(1);
-                            if entered && brace == 0 {
-                                k += 1;
-                                break;
-                            }
-                        }
-                        ";" if !entered && brace == 0 => {
-                            k += 1;
-                            break;
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                for m in mask.iter_mut().take(k).skip(attr_start) {
-                    *m = true;
-                }
-                i = k;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    mask
-}
-
-fn is_test_attr(attr: &[&str]) -> bool {
-    // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, `#[tokio::test]`-style.
-    match attr {
-        ["#", "[", "test", "]"] => true,
-        ["#", "[", "cfg", "(", rest @ ..] => rest.contains(&"test"),
-        _ => attr.len() >= 2 && attr[attr.len() - 2] == "test",
-    }
+    matches!(ty, "f32" | "i8" | "i16" | "i32" | "u8" | "u16" | "u32")
 }
 
 #[cfg(test)]
@@ -329,17 +945,30 @@ mod tests {
         check_panicking: true,
         check_raw_thread: true,
         check_raw_instant: true,
+        check_swallowed_result: true,
+        check_env_read: true,
+        check_unordered_reduce: true,
     };
     const NON_SOLVER: ScanOptions = ScanOptions {
         check_panicking: false,
         check_raw_thread: true,
         check_raw_instant: true,
+        check_swallowed_result: false,
+        check_env_read: true,
+        check_unordered_reduce: true,
     };
-    const THREAD_OWNER: ScanOptions = ScanOptions {
+    const OWNER: ScanOptions = ScanOptions {
         check_panicking: false,
         check_raw_thread: false,
         check_raw_instant: false,
+        check_swallowed_result: false,
+        check_env_read: false,
+        check_unordered_reduce: false,
     };
+
+    fn rules_of(src: &str, opts: ScanOptions) -> Vec<Rule> {
+        scan_source("a.rs", src, opts).into_iter().map(|f| f.rule).collect()
+    }
 
     #[test]
     fn flags_exact_float_comparisons() {
@@ -372,7 +1001,7 @@ mod tests {
 
     #[test]
     fn unwrap_as_plain_ident_is_not_a_call() {
-        let src = "fn unwrap() {} fn g() { unwrap(); let expect = 3; }";
+        let src = "fn unwrap() {} fn g() { unwrap(); let x = 3; x; }";
         assert!(scan_source("a.rs", src, LIB).is_empty());
     }
 
@@ -386,7 +1015,7 @@ mod tests {
 
     #[test]
     fn flags_lossy_casts() {
-        let src = "fn f(x: f64, n: usize) -> f32 { let _ = n as u32; x as f32 }";
+        let src = "fn f(x: f64, n: usize) -> f32 { let y = n as u32; x as f32 }";
         let found = scan_source("a.rs", src, NON_SOLVER);
         assert_eq!(found.len(), 2);
         assert!(found.iter().all(|f| f.rule == Rule::LossyCast));
@@ -394,7 +1023,7 @@ mod tests {
 
     #[test]
     fn widening_casts_are_fine() {
-        let src = "fn f(n: u32) -> f64 { let _ = n as u64; n as f64 }";
+        let src = "fn f(n: u32) -> f64 { let y = n as u64; n as f64 }";
         assert!(scan_source("a.rs", src, LIB).is_empty());
     }
 
@@ -425,6 +1054,17 @@ mod tests {
     }
 
     #[test]
+    fn multiline_statement_suppression() {
+        // The marker sits above the statement; the finding is two lines into
+        // it. Pre-statement-span suppression this leaked through.
+        let src = "fn f(v: Option<u64>) -> u64 {\n    // audit:allow(panicking)\n    v.map(|x| x + 1)\n        .unwrap()\n}\n";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+        // A marker for a different rule still does not suppress.
+        let src2 = "fn f(v: Option<u64>) -> u64 {\n    // audit:allow(float-eq)\n    v.map(|x| x + 1)\n        .unwrap()\n}\n";
+        assert_eq!(scan_source("a.rs", src2, LIB).len(), 1);
+    }
+
+    #[test]
     fn flags_raw_thread_spawn() {
         let src = "fn f() { std::thread::spawn(|| {}); }\nfn g() { thread::spawn(work); }\n";
         let found = scan_source("a.rs", src, NON_SOLVER);
@@ -439,7 +1079,7 @@ mod tests {
         let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
         assert!(scan_source("a.rs", scoped, NON_SOLVER).is_empty());
         let raw = "fn f() { std::thread::spawn(|| {}); }";
-        assert!(scan_source("a.rs", raw, THREAD_OWNER).is_empty());
+        assert!(scan_source("a.rs", raw, OWNER).is_empty());
     }
 
     #[test]
@@ -448,25 +1088,163 @@ mod tests {
         let found = scan_source("a.rs", src, NON_SOLVER);
         assert_eq!(found.len(), 2);
         assert!(found.iter().all(|f| f.rule == Rule::RawInstant));
-        assert_eq!(found[0].line, 1);
-        assert_eq!(found[1].line, 2);
     }
 
     #[test]
-    fn instant_in_clock_owner_crates_is_fine() {
-        let src = "fn f() { let t = Instant::now(); }";
-        assert!(scan_source("a.rs", src, THREAD_OWNER).is_empty());
+    fn instant_through_alias_is_flagged() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::RawInstant);
     }
 
     #[test]
-    fn raw_instant_suppression_works() {
-        let src = "// audit:allow(raw-instant)\nfn f() { let t = Instant::now(); }";
+    fn foreign_instant_is_not_flagged() {
+        let src = "use myclock::Instant;\nfn f() { let t = Instant::now(); }";
         assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
     }
 
     #[test]
-    fn raw_thread_suppression_works() {
-        let src = "// audit:allow(raw-thread)\nfn f() { std::thread::spawn(|| {}); }";
+    fn method_now_is_not_flagged() {
+        let src = "fn f(c: Clock) { let t = c.now(); }";
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_flags_for_loop_and_methods() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                       let mut s = 0.0;\n\
+                       for (_k, v) in m { s = s + v; }\n\
+                       for k in m.keys() { s = s + *k as f64; }\n\
+                       s\n\
+                   }\n";
+        let found = scan_source("a.rs", src, ScanOptions::default());
+        let nd: Vec<_> = found.iter().filter(|f| f.rule == Rule::NondetIter).collect();
+        assert_eq!(nd.len(), 2, "{found:?}");
+        assert_eq!(nd[0].line, 4);
+        assert_eq!(nd[1].line, 5);
+    }
+
+    #[test]
+    fn nondet_iter_sees_through_aliases() {
+        let src = "use std::collections::HashMap as Map;\n\
+                   fn f() {\n\
+                       let m: Map<u32, u32> = Map::new();\n\
+                       for v in m.values() { drop(v); }\n\
+                   }\n";
+        let found = rules_of(src, ScanOptions::default());
+        assert!(found.contains(&Rule::NondetIter), "{found:?}");
+    }
+
+    #[test]
+    fn nondet_lookup_is_fine() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> Option<f64> {\n\
+                       let x = m.get(&3).copied();\n\
+                       m.len();\n\
+                       x\n\
+                   }\n";
+        assert!(scan_source("a.rs", src, ScanOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, f64>) {\n\
+                       for v in m.values() { drop(v); }\n\
+                   }\n";
+        assert!(scan_source("a.rs", src, ScanOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n  fn t() { let s: HashSet<u32> = HashSet::new(); for v in s.iter() { drop(v); } }\n}\n";
+        assert!(scan_source("a.rs", src, ScanOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn swallowed_let_underscore_flagged_in_solver_code() {
+        let src = "fn f() { let _ = compute(); }";
+        let found = scan_source("a.rs", src, LIB);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::SwallowedResult);
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn named_underscore_binding_is_fine() {
+        let src = "fn f() { let _keep = compute(); }";
+        assert!(scan_source("a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn bare_ok_statement_flagged_bound_ok_fine() {
+        let bare = "fn f() { fallible().ok(); }";
+        let found = scan_source("a.rs", bare, LIB);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::SwallowedResult);
+        let bound = "fn f() -> Option<u8> { let x = fallible().ok(); x }";
+        assert!(scan_source("a.rs", bound, LIB).is_empty());
+    }
+
+    #[test]
+    fn env_read_flagged_and_alias_aware() {
+        let src = "fn f() -> bool { std::env::var_os(\"X\").is_some() }";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::EnvRead);
+        let aliased = "use std::env;\nfn f() -> bool { env::var(\"X\").is_ok() }";
+        assert_eq!(scan_source("a.rs", aliased, NON_SOLVER).len(), 1);
+        let owner = "fn f() -> bool { std::env::var_os(\"X\").is_some() }";
+        assert!(scan_source("a.rs", owner, OWNER).is_empty());
+    }
+
+    #[test]
+    fn env_macro_and_local_var_fn_are_fine() {
+        // `env!` is compile-time; a local fn named `var` is not std's.
+        let src = "fn f() { let p = env!(\"CARGO_MANIFEST_DIR\"); var(3); p; }\nfn var(x: u8) {}";
+        assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn unordered_reduce_flags_accumulation_over_par_output() {
+        let src = "fn f(n: usize) -> f64 {\n\
+                       let results = snbc_par::par_map_collect(n, |i| i as f64);\n\
+                       let mut acc = 0.0;\n\
+                       for r in &results { acc += *r; }\n\
+                       acc\n\
+                   }\n";
+        let found = scan_source("a.rs", src, NON_SOLVER);
+        let ur: Vec<_> = found.iter().filter(|f| f.rule == Rule::UnorderedReduce).collect();
+        assert_eq!(ur.len(), 1, "{found:?}");
+        assert_eq!(ur[0].line, 4);
+    }
+
+    #[test]
+    fn unordered_reduce_flags_sum_chain() {
+        let src = "fn f(n: usize) -> f64 {\n\
+                       let xs = snbc_par::par_map_collect(n, |i| i as f64);\n\
+                       xs.iter().sum::<f64>()\n\
+                   }\n";
+        let found = rules_of(src, NON_SOLVER);
+        assert!(found.contains(&Rule::UnorderedReduce), "{found:?}");
+    }
+
+    #[test]
+    fn ordinary_loops_and_par_crate_are_fine() {
+        let plain = "fn f(xs: &[f64]) -> f64 { let mut a = 0.0; for x in xs { a += x; } a }";
+        assert!(scan_source("a.rs", plain, NON_SOLVER).is_empty());
+        let par_owner = "fn f(n: usize) -> f64 {\n let r = snbc_par::par_map_collect(n, |i| i as f64);\n let mut a = 0.0; for x in &r { a += x; } a }";
+        assert!(scan_source("a.rs", par_owner, OWNER).is_empty());
+    }
+
+    #[test]
+    fn indexed_use_of_par_output_is_fine() {
+        let src = "fn f(n: usize) -> f64 {\n\
+                       let r = snbc_par::par_map_collect(n, |i| i as f64);\n\
+                       r[0] + r[n - 1]\n\
+                   }\n";
         assert!(scan_source("a.rs", src, NON_SOLVER).is_empty());
     }
 
@@ -474,5 +1252,26 @@ mod tests {
     fn suppression_is_rule_specific() {
         let src = "fn f(x: f64) -> bool { x == 0.0 } // audit:allow(panicking)";
         assert_eq!(scan_source("a.rs", src, NON_SOLVER).len(), 1);
+    }
+
+    #[test]
+    fn new_rules_honor_suppressions() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) {\n\
+                       // audit:allow(nondet-iter)\n\
+                       for v in m.values() { drop(v); }\n\
+                   }\n";
+        assert!(scan_source("a.rs", src, ScanOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for info in RULES {
+            assert_eq!(Rule::from_id(info.id), Some(info.rule));
+            assert_eq!(info.rule.id(), info.id);
+            assert!(info.rule.version() >= 1);
+            assert!(!info.rationale.is_empty());
+            assert!(!info.fix.is_empty());
+        }
     }
 }

@@ -1,0 +1,343 @@
+//! Machine-readable audit reports: a compact JSON schema (`snbc-audit/2`)
+//! and SARIF 2.1.0, both rendered through the canonical encoder in
+//! [`crate::json`] so output is **byte-identical across runs** (and across
+//! `SNBC_THREADS` values — findings are sorted before rendering) and
+//! round-trips exactly through the matching parser.
+//!
+//! Schema stability contract:
+//!
+//! - the JSON schema string is `"snbc-audit/2"`; any field change bumps it;
+//! - SARIF documents pin `version: "2.1.0"` and carry per-rule versions in
+//!   `rule.properties.ruleVersion`, mirroring baseline-v2 semantics;
+//! - both encoders emit findings in the canonical `Finding` sort order and
+//!   rules in id order, with insertion-ordered keys, so
+//!   `render(parse(render(x))) == render(x)` holds byte-for-byte.
+
+use crate::json::{parse, render, Value};
+use crate::rules::{Finding, Rule, RULES};
+
+/// JSON schema identifier; bump on any shape change.
+pub const JSON_SCHEMA: &str = "snbc-audit/2";
+/// Pinned SARIF version and schema URI.
+pub const SARIF_VERSION: &str = "2.1.0";
+pub const SARIF_SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Everything a machine format captures about one audit run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn new(files_scanned: usize, mut findings: Vec<Finding>) -> Report {
+        findings.sort();
+        Report { files_scanned, findings }
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// snbc-audit/2 JSON.
+
+/// Render the compact JSON report (canonical bytes).
+pub fn render_json_report(report: &Report) -> String {
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("rule", s(f.rule.id())),
+                ("rule_version", Value::Int(f.rule.version() as i64)),
+                ("file", s(&f.file)),
+                ("line", Value::Int(f.line as i64)),
+                ("message", s(&f.message)),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("schema", s(JSON_SCHEMA)),
+        ("files_scanned", Value::Int(report.files_scanned as i64)),
+        ("findings", Value::Arr(findings)),
+    ]);
+    render(&doc)
+}
+
+/// Parse a `snbc-audit/2` document back into a [`Report`].
+pub fn parse_json_report(text: &str) -> Result<Report, String> {
+    let doc = parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != JSON_SCHEMA {
+        return Err(format!("unsupported schema `{schema}` (want `{JSON_SCHEMA}`)"));
+    }
+    let files_scanned = doc
+        .get("files_scanned")
+        .and_then(Value::as_int)
+        .ok_or("missing `files_scanned`")? as usize;
+    let mut findings = Vec::new();
+    for f in doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("missing `findings`")?
+    {
+        let rule_id = f.get("rule").and_then(Value::as_str).ok_or("finding without rule")?;
+        let rule = Rule::from_id(rule_id).ok_or_else(|| format!("unknown rule `{rule_id}`"))?;
+        findings.push(Finding {
+            rule,
+            file: f
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("finding without file")?
+                .to_string(),
+            line: f.get("line").and_then(Value::as_int).ok_or("finding without line")? as usize,
+            message: f
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or("finding without message")?
+                .to_string(),
+        });
+    }
+    Ok(Report { files_scanned, findings })
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0.
+
+fn sarif_rule(info: &crate::rules::RuleInfo) -> Value {
+    obj(vec![
+        ("id", s(info.id)),
+        ("shortDescription", obj(vec![("text", s(info.summary))])),
+        ("fullDescription", obj(vec![("text", s(info.rationale))])),
+        ("help", obj(vec![("text", s(info.fix))])),
+        (
+            "properties",
+            obj(vec![("ruleVersion", Value::Int(info.version as i64))]),
+        ),
+    ])
+}
+
+fn sarif_result(f: &Finding) -> Value {
+    obj(vec![
+        ("ruleId", s(f.rule.id())),
+        ("level", s("error")),
+        ("message", obj(vec![("text", s(&f.message))])),
+        (
+            "locations",
+            Value::Arr(vec![obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    ("artifactLocation", obj(vec![("uri", s(&f.file))])),
+                    (
+                        "region",
+                        obj(vec![("startLine", Value::Int(f.line as i64))]),
+                    ),
+                ]),
+            )])]),
+        ),
+    ])
+}
+
+/// Render a SARIF 2.1.0 document (canonical bytes). The full rule catalog is
+/// embedded so viewers can show rationale and fixes without the repo.
+pub fn render_sarif(report: &Report) -> String {
+    let rules: Vec<Value> = {
+        let mut infos: Vec<_> = RULES.iter().collect();
+        infos.sort_by_key(|r| r.id);
+        infos.into_iter().map(sarif_rule).collect()
+    };
+    let results: Vec<Value> = report.findings.iter().map(sarif_result).collect();
+    let doc = obj(vec![
+        ("$schema", s(SARIF_SCHEMA_URI)),
+        ("version", s(SARIF_VERSION)),
+        (
+            "runs",
+            Value::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("snbc-audit")),
+                            ("informationUri", s("docs/AUDIT.md")),
+                            ("rules", Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+                (
+                    "properties",
+                    obj(vec![(
+                        "filesScanned",
+                        Value::Int(report.files_scanned as i64),
+                    )]),
+                ),
+            ])]),
+        ),
+    ]);
+    render(&doc)
+}
+
+/// Recover a [`Report`] from a SARIF document produced by [`render_sarif`].
+pub fn parse_sarif(text: &str) -> Result<Report, String> {
+    let doc = parse(text)?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_str)
+        .ok_or("missing `version`")?;
+    if version != SARIF_VERSION {
+        return Err(format!("unsupported SARIF version `{version}`"));
+    }
+    let run = doc
+        .get("runs")
+        .and_then(Value::as_arr)
+        .and_then(|r| r.first())
+        .ok_or("missing `runs[0]`")?;
+    let files_scanned = run
+        .get("properties")
+        .and_then(|p| p.get("filesScanned"))
+        .and_then(Value::as_int)
+        .unwrap_or(0) as usize;
+    let mut findings = Vec::new();
+    for res in run
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing `results`")?
+    {
+        let rule_id = res
+            .get("ruleId")
+            .and_then(Value::as_str)
+            .ok_or("result without ruleId")?;
+        let rule = Rule::from_id(rule_id).ok_or_else(|| format!("unknown rule `{rule_id}`"))?;
+        let message = res
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .ok_or("result without message.text")?
+            .to_string();
+        let loc = res
+            .get("locations")
+            .and_then(Value::as_arr)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .ok_or("result without physicalLocation")?;
+        let file = loc
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Value::as_str)
+            .ok_or("result without artifactLocation.uri")?
+            .to_string();
+        let line = loc
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_int)
+            .ok_or("result without region.startLine")? as usize;
+        findings.push(Finding { rule, file, line, message });
+    }
+    Ok(Report { files_scanned, findings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(
+            42,
+            vec![
+                Finding {
+                    rule: Rule::NondetIter,
+                    file: "crates/x/src/lib.rs".to_string(),
+                    line: 7,
+                    message: "iterating `m` (HashMap/HashSet)".to_string(),
+                },
+                Finding {
+                    rule: Rule::FloatEq,
+                    file: "crates/x/src/lib.rs".to_string(),
+                    line: 3,
+                    message: "exact float comparison `==`".to_string(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn report_new_sorts_findings() {
+        let r = sample();
+        assert!(r.findings[0].rule <= r.findings[1].rule);
+    }
+
+    #[test]
+    fn json_roundtrip_is_byte_identical() {
+        let r = sample();
+        let text = render_json_report(&r);
+        let parsed = parse_json_report(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(render_json_report(&parsed), text);
+    }
+
+    #[test]
+    fn sarif_roundtrip_is_byte_identical() {
+        let r = sample();
+        let text = render_sarif(&r);
+        let parsed = parse_sarif(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(render_sarif(&parsed), text);
+    }
+
+    #[test]
+    fn sarif_embeds_full_rule_catalog() {
+        let text = render_sarif(&sample());
+        let doc = parse(&text).unwrap();
+        let rules = doc
+            .get("runs")
+            .and_then(Value::as_arr)
+            .and_then(|r| r.first())
+            .and_then(|r| r.get("tool"))
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for info in RULES {
+            assert!(
+                rules.iter().any(|r| r.get("id").and_then(Value::as_str) == Some(info.id)),
+                "missing rule {}",
+                info.id
+            );
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_and_roundtrips() {
+        let r = Report::new(10, Vec::new());
+        for (render_fn, parse_fn) in [
+            (
+                render_json_report as fn(&Report) -> String,
+                parse_json_report as fn(&str) -> Result<Report, String>,
+            ),
+            (render_sarif, parse_sarif),
+        ] {
+            let text = render_fn(&r);
+            let parsed = parse_fn(&text).unwrap();
+            assert_eq!(parsed, r);
+            assert_eq!(render_fn(&parsed), text);
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(parse_json_report("{\"schema\":\"snbc-audit/1\",\"files_scanned\":0,\"findings\":[]}").is_err());
+        assert!(parse_sarif("{\"version\":\"2.0.0\",\"runs\":[]}").is_err());
+    }
+}

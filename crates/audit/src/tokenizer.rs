@@ -97,6 +97,16 @@ pub fn tokenize(src: &str) -> Lexed {
                 i = end;
                 line = endline;
             }
+            // Byte raw strings `br"…"` / `br#"…"#`: without this arm the `b`
+            // and `r` lex as an identifier and the body is scanned as a
+            // *regular* string, so an inner `"` desynchronizes the stream.
+            b'b' if bytes.get(i + 1) == Some(&b'r')
+                && matches!(bytes.get(i + 2), Some(&b'"') | Some(&b'#')) =>
+            {
+                let (end, endline) = skip_raw_string(bytes, i + 2, line);
+                i = end;
+                line = endline;
+            }
             b'\'' => {
                 // Distinguish a char literal from a lifetime: a lifetime is
                 // `'ident` NOT followed by a closing quote.
@@ -200,7 +210,15 @@ fn skip_block_comment(
 fn skip_string(bytes: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (string continuation) still ends a
+                // source line; skipping it blindly desynchronizes every
+                // later line number.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
             b'"' => return (i + 1, line),
             b'\n' => {
                 line += 1;
@@ -436,6 +454,55 @@ mod tests {
                 Suppression { rule: "panicking".into(), line: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_desync() {
+        // Depth-tracked `/* /* */ */`: the inner close must not terminate the
+        // outer comment, or `still_hidden` would leak into the stream.
+        let src = "/* outer /* inner */ still_hidden == 0.0 */ visible();";
+        let lexed = tokenize(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "still_hidden"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "=="));
+        assert!(lexed.tokens.iter().any(|t| t.text == "visible"));
+        // Two nesting levels, with code following on a later line.
+        let src2 = "/* a /* b /* c */ d */ e */\nafter();";
+        let lexed2 = tokenize(src2);
+        let after = lexed2.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_desync() {
+        // `"#` inside an `r##"…"##` body is not a terminator; only the full
+        // `"##` is. A desync here would tokenize the tail of the literal.
+        let src = r####"let s = r##"inner "# quote unwrap() "##; tail();"####;
+        let lexed = tokenize(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "inner"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "tail"));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_desync() {
+        // `br#"…"#` bodies may contain bare quotes; scanning them as a
+        // regular string would end at the first inner `"`.
+        let src = r###"let b = br#"say "hi" == 0.0"#; ok();"###;
+        let lexed = tokenize(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "hi"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "=="));
+        assert!(lexed.tokens.iter().any(|t| t.text == "ok"));
+        // Identifiers starting with `br` are still plain identifiers.
+        let lexed2 = tokenize("let bridge = 1;");
+        assert!(lexed2.tokens.iter().any(|t| t.text == "bridge"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        let src = "let s = \"a\\\nb\";\nmarker();";
+        let lexed = tokenize(src);
+        let m = lexed.tokens.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 3);
     }
 
     #[test]

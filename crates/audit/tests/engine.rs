@@ -1,17 +1,39 @@
 //! End-to-end tests of the audit engine against fixture sources with known
-//! violations, exercising rule hits, suppressions, and baseline diffing.
+//! violations, exercising rule hits, scope/alias awareness, suppressions,
+//! machine formats, and baseline diffing.
 
 use snbc_audit::baseline;
 use snbc_audit::rules::{scan_source, Finding, Rule, ScanOptions};
+use snbc_audit::sarif::{
+    parse_json_report, parse_sarif, render_json_report, render_sarif, Report,
+};
 
 const VIOLATIONS: &str = include_str!("fixtures/violations.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
+const NONDET_ITER: &str = include_str!("fixtures/nondet_iter.rs");
+const SWALLOWED: &str = include_str!("fixtures/swallowed_result.rs");
+const ENV_READ: &str = include_str!("fixtures/env_read.rs");
+const UNORDERED: &str = include_str!("fixtures/unordered_reduce.rs");
 
+/// Options a solver crate (lp/sdp/sos/linalg/interval) is scanned with.
 const SOLVER_OPTS: ScanOptions = ScanOptions {
     check_panicking: true,
     check_raw_thread: true,
     check_raw_instant: true,
+    check_swallowed_result: true,
+    check_env_read: true,
+    check_unordered_reduce: true,
+};
+
+/// Options a non-solver, non-owner crate is scanned with.
+const NON_SOLVER_OPTS: ScanOptions = ScanOptions {
+    check_panicking: false,
+    check_raw_thread: true,
+    check_raw_instant: true,
+    check_swallowed_result: false,
+    check_env_read: true,
+    check_unordered_reduce: true,
 };
 
 fn hits(src: &str, opts: ScanOptions) -> Vec<(Rule, usize)> {
@@ -54,10 +76,11 @@ fn panicking_rule_only_applies_to_solver_crates() {
 }
 
 #[test]
-fn suppressions_silence_only_the_named_rule_nearby() {
+fn suppressions_silence_only_the_named_rule_on_the_statement() {
     let got = hits(SUPPRESSED, SOLVER_OPTS);
-    // The two deliberately-ineffective allows leave exactly these findings.
-    assert_eq!(got, vec![(Rule::FloatEq, 17), (Rule::FloatEq, 23)]);
+    // Everything is suppressed — including a finding two lines into a
+    // multi-line statement — except the wrong-rule and blank-line-gap cases.
+    assert_eq!(got, vec![(Rule::FloatEq, 25), (Rule::FloatEq, 31)]);
 }
 
 #[test]
@@ -67,18 +90,121 @@ fn clean_fixture_has_zero_findings() {
 }
 
 #[test]
+fn nondet_iter_fixture_exact_hits() {
+    let got = hits(NONDET_ITER, NON_SOLVER_OPTS);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::NondetIter, 11),
+            (Rule::NondetIter, 20),
+            (Rule::NondetIter, 25),
+        ],
+        "positive sites flagged; lookups, BTreeMap, suppressed and test code exempt"
+    );
+}
+
+#[test]
+fn swallowed_result_fixture_exact_hits() {
+    let got = hits(SWALLOWED, SOLVER_OPTS);
+    assert_eq!(
+        got,
+        vec![(Rule::SwallowedResult, 7), (Rule::SwallowedResult, 11)]
+    );
+    // The rule is scoped to solver crates.
+    assert!(hits(SWALLOWED, NON_SOLVER_OPTS).is_empty());
+}
+
+#[test]
+fn env_read_fixture_exact_hits() {
+    let got = hits(ENV_READ, NON_SOLVER_OPTS);
+    assert_eq!(got, vec![(Rule::EnvRead, 9), (Rule::EnvRead, 13)]);
+    // Env-owner crates (par/cli/audit) scan with the check off.
+    let owner = ScanOptions { check_env_read: false, ..NON_SOLVER_OPTS };
+    assert!(hits(ENV_READ, owner).is_empty());
+}
+
+#[test]
+fn unordered_reduce_fixture_exact_hits() {
+    let got = hits(UNORDERED, NON_SOLVER_OPTS);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::UnorderedReduce, 10),
+            (Rule::UnorderedReduce, 17),
+            (Rule::UnorderedReduce, 23),
+        ]
+    );
+    // snbc-par itself scans with the check off.
+    let par = ScanOptions { check_unordered_reduce: false, ..NON_SOLVER_OPTS };
+    assert!(hits(UNORDERED, par).is_empty());
+}
+
+#[test]
+fn machine_formats_roundtrip_fixture_findings() {
+    let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
+    let report = Report::new(1, findings);
+    let json = render_json_report(&report);
+    assert_eq!(parse_json_report(&json).unwrap(), report);
+    assert_eq!(render_json_report(&parse_json_report(&json).unwrap()), json);
+    let sarif = render_sarif(&report);
+    assert_eq!(parse_sarif(&sarif).unwrap(), report);
+    assert_eq!(render_sarif(&parse_sarif(&sarif).unwrap()), sarif);
+}
+
+#[test]
+fn committed_baseline_parses_and_is_current() {
+    // The checked-in workspace baseline must stay parseable, stale-free, and
+    // empty: every finding in tree is fixed or carries a justified allow.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../audit-baseline.txt");
+    let text = std::fs::read_to_string(path).expect("read audit-baseline.txt");
+    let b = baseline::parse(&text).expect("committed baseline must parse");
+    assert_eq!(b.format_version, baseline::FORMAT_VERSION);
+    assert!(b.stale_rules().is_empty(), "stale: {:?}", b.stale_rules());
+    assert!(
+        b.entries.is_empty(),
+        "the workspace baseline must stay empty; entries: {:?}",
+        b.entries
+    );
+}
+
+#[test]
+fn v1_baseline_upgrades_cleanly() {
+    // A legacy v1 file (entry lines only) is grandfathered at current rule
+    // versions, and re-rendering it produces v2.
+    let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
+    let v1 = {
+        // Render entries without the v2 header, mimicking the old format.
+        let b = baseline::parse(&baseline::render(&findings)).unwrap();
+        let mut out = String::new();
+        for ((rule, file), count) in &b.entries {
+            out.push_str(&format!("{} {} {}\n", rule.id(), file, count));
+        }
+        out
+    };
+    let upgraded = baseline::parse(&v1).unwrap();
+    assert_eq!(upgraded.format_version, 1);
+    assert!(upgraded.stale_rules().is_empty());
+    assert!(baseline::diff(&findings, &upgraded).is_clean());
+    // Round-trip through render: now v2, same tolerances.
+    let v2 = baseline::render(&findings);
+    let b2 = baseline::parse(&v2).unwrap();
+    assert_eq!(b2.format_version, 2);
+    assert_eq!(b2.entries, upgraded.entries);
+}
+
+#[test]
 fn baseline_roundtrip_tolerates_existing_debt() {
     let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
     assert!(!findings.is_empty());
     // A baseline generated from the current findings diffs clean.
-    let map = baseline::parse(&baseline::render(&findings)).unwrap();
-    assert!(baseline::diff(&findings, &map).is_clean());
+    let b = baseline::parse(&baseline::render(&findings)).unwrap();
+    assert!(baseline::diff(&findings, &b).is_clean());
 }
 
 #[test]
 fn baseline_catches_regressions_and_reports_improvements() {
     let findings = scan_source("fixture.rs", VIOLATIONS, SOLVER_OPTS);
-    let map = baseline::parse(&baseline::render(&findings)).unwrap();
+    let b = baseline::parse(&baseline::render(&findings)).unwrap();
 
     // One extra float-eq beyond the tolerated count is a regression.
     let mut more = findings.clone();
@@ -88,7 +214,7 @@ fn baseline_catches_regressions_and_reports_improvements() {
         line: 999,
         message: String::new(),
     });
-    let d = baseline::diff(&more, &map);
+    let d = baseline::diff(&more, &b);
     assert_eq!(d.regressions.len(), 1);
     let (rule, ref file, current, tolerated) = d.regressions[0];
     assert_eq!(rule, Rule::FloatEq);
@@ -102,7 +228,7 @@ fn baseline_catches_regressions_and_reports_improvements() {
         line: 1,
         message: String::new(),
     }];
-    assert!(!baseline::diff(&fresh, &map).is_clean());
+    assert!(!baseline::diff(&fresh, &b).is_clean());
 
     // Fixing findings shows up as improvements, never as failures.
     let fewer: Vec<Finding> = findings
@@ -110,7 +236,7 @@ fn baseline_catches_regressions_and_reports_improvements() {
         .filter(|f| f.rule != Rule::Panicking)
         .cloned()
         .collect();
-    let d = baseline::diff(&fewer, &map);
+    let d = baseline::diff(&fewer, &b);
     assert!(d.is_clean());
     assert_eq!(d.improvements.len(), 1);
     assert_eq!(d.improvements[0].0, Rule::Panicking);

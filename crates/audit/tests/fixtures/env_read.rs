@@ -1,0 +1,39 @@
+//! Audit fixture: `env-read` positives and alias handling.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+use std::env;
+
+pub fn direct() -> bool {
+    std::env::var_os("SNBC_X").is_some() // expect: env-read @ 9
+}
+
+pub fn through_module_import() -> bool {
+    env::var("SNBC_X").is_ok() // expect: env-read @ 13
+}
+
+pub fn env_macro_is_fine() -> &'static str {
+    env!("CARGO_PKG_NAME")
+}
+
+pub fn local_fn_named_var_is_fine() -> u32 {
+    var(3)
+}
+
+fn var(x: u32) -> u32 {
+    x
+}
+
+pub fn suppressed() -> bool {
+    // audit:allow(env-read)
+    std::env::var("SNBC_DEBUG").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        assert!(std::env::var("PATH").is_ok());
+    }
+}

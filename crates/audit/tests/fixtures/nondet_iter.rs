@@ -1,0 +1,61 @@
+//! Audit fixture: `nondet-iter` positives and exemptions.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+use std::collections::HashMap as Map;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn iterates_param(m: &Map<u32, f64>) -> f64 {
+    let mut s = 0.0;
+    for (_k, v) in m {
+        // expect: nondet-iter @ 11 (for-loop over the map itself)
+        s += v;
+    }
+    s
+}
+
+pub fn iterates_local_keys() -> Vec<u32> {
+    let m: Map<u32, u32> = Map::new();
+    m.keys().copied().collect() // expect: nondet-iter @ 20 (order reaches output)
+}
+
+pub fn set_iter(s: &HashSet<u32>) -> usize {
+    let mut n = 0;
+    for v in s.iter() {
+        // expect: nondet-iter @ 25
+        n = n + (*v as usize);
+    }
+    n
+}
+
+pub fn lookup_is_fine(m: &Map<u32, f64>) -> Option<f64> {
+    m.get(&1).copied()
+}
+
+pub fn btree_is_fine(m: &BTreeMap<u32, f64>) -> f64 {
+    let mut s = 0.0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}
+
+pub fn suppressed(m: &Map<u32, f64>) -> usize {
+    // audit:allow(nondet-iter)
+    for _v in m.values() {}
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_in_tests() {
+        let m: Map<u32, u32> = Map::new();
+        for v in m.values() {
+            let _x = v;
+        }
+    }
+}

@@ -1,24 +1,32 @@
 //! Audit fixture: the same violation kinds, all suppressed.
 //!
-//! Suppressions count on the finding's own line or the line directly above.
+//! Suppressions attach to the enclosing statement: a marker on any line of
+//! the statement, or on the line directly above it, silences the named rule.
 
-pub fn all_suppressed(a: f64, v: Option<u64>) -> u64 {
+pub fn all_suppressed(a: f64, v: Option<u64>) -> f32 {
     // audit:allow(float-eq)
-    let _ = a == 0.5;
-    let _ = a != 1.5; // audit:allow(float-eq)
+    let _b = a == 0.5;
+    let _c = a != 1.5; // audit:allow(float-eq)
     // audit:allow(lossy-cast)
-    let _ = a as f32;
+    let f = a as f32;
     // audit:allow(panicking)
-    v.unwrap()
+    v.unwrap();
+    f
+}
+
+pub fn multiline_statement_suppressed(v: Option<u64>) -> u64 {
+    // audit:allow(panicking)
+    v.map(|x| x + 1)
+        .unwrap()
 }
 
 pub fn wrong_rule_does_not_suppress(a: f64) -> bool {
     // audit:allow(panicking)
-    a == 0.25 // expect: float-eq @ 17 (the allow above names another rule)
+    a == 0.25 // expect: float-eq @ 25 (the allow above names another rule)
 }
 
 pub fn too_far_does_not_suppress(a: f64) -> bool {
     // audit:allow(float-eq)
 
-    a == 0.75 // expect: float-eq @ 23 (blank line between allow and finding)
+    a == 0.75 // expect: float-eq @ 31 (blank line between allow and finding)
 }

@@ -1,0 +1,48 @@
+//! Audit fixture: `swallowed-result` positives and exemptions.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+pub fn let_underscore(r: Result<u32, String>) {
+    let _ = r; // expect: swallowed-result @ 7
+}
+
+pub fn bare_ok(r: Result<u32, String>) {
+    r.ok(); // expect: swallowed-result @ 11
+}
+
+pub fn named_discard_is_fine(r: Result<u32, String>) {
+    let _unused = r;
+}
+
+pub fn bound_ok_is_fine(r: Result<u32, String>) -> Option<u32> {
+    let v = r.ok();
+    v
+}
+
+pub fn returned_ok_is_fine(r: Result<u32, String>) -> Option<u32> {
+    return r.ok();
+}
+
+pub fn suppressed(r: Result<u32, String>) {
+    // audit:allow(swallowed-result)
+    let _ = r;
+    r.ok(); // audit:allow(swallowed-result)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        let _ = helper();
+        helper_result().ok();
+    }
+
+    fn helper() -> u32 {
+        1
+    }
+
+    fn helper_result() -> Result<u32, String> {
+        Ok(1)
+    }
+}

@@ -1,0 +1,56 @@
+//! Audit fixture: `unordered-reduce` positives and exemptions.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+pub fn for_accumulation(n: usize) -> f64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as f64);
+    let mut acc = 0.0;
+    for p in &parts {
+        acc += p; // expect: unordered-reduce @ 10
+    }
+    acc
+}
+
+pub fn sum_chain(n: usize) -> f64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as f64);
+    parts.iter().sum::<f64>() // expect: unordered-reduce @ 17
+}
+
+pub fn through_import(n: usize) -> f64 {
+    use snbc_par::par_map_collect;
+    let parts = par_map_collect(n, |i| i as f64);
+    parts.iter().map(|x| x * 2.0).sum() // expect: unordered-reduce @ 23
+}
+
+pub fn indexed_use_is_fine(n: usize) -> f64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as f64);
+    parts[0] + parts[n - 1]
+}
+
+pub fn serial_loop_is_fine(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+pub fn suppressed(n: usize) -> u64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as u64);
+    let mut acc = 0;
+    for p in &parts {
+        // audit:allow(unordered-reduce)
+        acc += p;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        let parts = snbc_par::par_map_collect(3, |i| i as f64);
+        let _total: f64 = parts.iter().sum();
+    }
+}

@@ -169,6 +169,9 @@ pub fn find_counterexample(
     let mut best: Option<(Vec<f64>, f64)> = None;
     let mut total_steps: u64 = 0;
     for (x, fx, steps_taken) in starts {
+        // Serial index-ascending fold over the already-ordered
+        // par_map_collect output; u64 sum, order-free.
+        // audit:allow(unordered-reduce)
         total_steps += steps_taken;
         if set.contains(&x) && best.as_ref().is_none_or(|(_, b)| fx > *b) {
             best = Some((x, fx));

@@ -355,11 +355,11 @@ impl Learner {
             let mut g = vec![0.0f64; np];
             for (ji, (loss_sum, hinge_sum, grad)) in results.iter().enumerate() {
                 let (kind, _, _) = jobs[ji];
-                kind_sums[kind as usize] += loss_sum;
-                hinge += hinge_sum;
+                kind_sums[kind as usize] += loss_sum; // audit:allow(unordered-reduce) — serial index-ascending fold
+                hinge += hinge_sum; // audit:allow(unordered-reduce) — same fold, fixed order
                 let scale = scale_of(kind);
                 for (acc, gv) in g.iter_mut().zip(grad) {
-                    *acc += scale * gv;
+                    *acc += scale * gv; // audit:allow(unordered-reduce) — same fold, fixed order
                 }
             }
             let mut loss = kind_sums[Kind::Domain as usize] * scale_of(Kind::Domain)

@@ -169,6 +169,8 @@ fn solve_standard_inner(
         let by = vec_ops::dot(b, &y);
         let gap_rel = (cx - by).abs() / (1.0 + cx.abs());
 
+        // Debug-trace flag: gates stderr prints only, never solver results.
+        // audit:allow(env-read)
         if std::env::var_os("SNBC_LP_TRACE").is_some() {
             eprintln!("iter {iter}: rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e} mu={mu:.3e}");
         }

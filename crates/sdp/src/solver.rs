@@ -231,6 +231,8 @@ impl SdpSolver {
             let gap_rel = xz.abs() / (1.0 + pobj.abs() + dobj.abs());
             last_res = (rp_rel, rd_rel, gap_rel);
 
+            // Debug-trace flag: gates stderr prints only, never solver results.
+            // audit:allow(env-read)
             if std::env::var_os("SNBC_SDP_TRACE").is_some() {
                 eprintln!(
                     "sdp iter {iter}: rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e} mu={mu:.3e}"
@@ -300,9 +302,8 @@ impl SdpSolver {
             let schur = self.build_schur(problem, &scalings, m, cholesky_count)?;
 
             // Predictor: ν = 0, no corrector.
-            let (dx_aff, dy_aff, dz_aff) =
+            let (dx_aff, _dy_aff, dz_aff) =
                 self.direction(problem, &scalings, &schur, &rp, &rd, &x, 0.0, None)?;
-            let _ = &dy_aff;
             let alpha_p_aff = self.max_step(&x, &dx_aff, &scalings, true)?;
             let alpha_d_aff = self.max_step(&z, &dz_aff, &scalings, false)?;
             // μ after the affine step.
@@ -435,6 +436,9 @@ impl SdpSolver {
         let mut out = Vec::with_capacity(factored.len());
         for r in factored {
             let (scaling, count) = r?;
+            // Serial index-ascending fold over the already-ordered
+            // par_map_collect output; integer count.
+            // audit:allow(unordered-reduce)
             *cholesky_count += count;
             out.push(scaling);
         }

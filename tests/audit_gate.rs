@@ -76,18 +76,111 @@ fn baseline_file_is_committed_and_parseable() {
         "audit-baseline.txt must be committed at the workspace root"
     );
     let text = fs::read_to_string(&path).unwrap();
-    // Every non-comment line must have the `<rule> <file> <count>` shape the
-    // parser accepts (the binary asserts this too; here it guards the file
+    // Every non-comment line must have a shape the v2 parser accepts: a
+    // `version N` header, `rule <id> <version>` pins, or `<rule> <file>
+    // <count>` entries (the binary asserts this too; here it guards the file
     // against hand edits breaking CI far from the edit).
+    let mut saw_version = false;
     for line in text.lines() {
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = t.split_whitespace().collect();
-        assert_eq!(fields.len(), 3, "malformed baseline line: {line}");
-        fields[2]
-            .parse::<usize>()
-            .unwrap_or_else(|_| panic!("bad count in baseline line: {line}"));
+        match fields.as_slice() {
+            ["version", v] => {
+                v.parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad version line: {line}"));
+                saw_version = true;
+            }
+            ["rule", _id, ver] => {
+                ver.parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad rule line: {line}"));
+            }
+            [_rule, _file, count] => {
+                count
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad count in baseline line: {line}"));
+            }
+            _ => panic!("malformed baseline line: {line}"),
+        }
     }
+    assert!(saw_version, "committed baseline must carry a `version` header");
+}
+
+/// Run the audit binary with extra args and an SNBC_THREADS override,
+/// returning stdout bytes (the machine-format document).
+fn run_audit_stdout(extra: &[&str], threads: Option<&str>) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(workspace_root())
+        .args(["run", "-q", "-p", "snbc-audit", "--"])
+        .args(extra);
+    if let Some(t) = threads {
+        cmd.env("SNBC_THREADS", t);
+    }
+    let out = cmd.output().expect("failed to spawn cargo run -p snbc-audit");
+    assert!(
+        out.status.success(),
+        "audit failed.\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn machine_formats_are_deterministic_across_runs_and_threads() {
+    for format in ["json", "sarif"] {
+        let a = run_audit_stdout(&["--format", format], None);
+        let b = run_audit_stdout(&["--format", format], None);
+        assert_eq!(a, b, "{format} output differs between identical runs");
+        let t1 = run_audit_stdout(&["--format", format], Some("1"));
+        let t7 = run_audit_stdout(&["--format", format], Some("7"));
+        assert_eq!(a, t1, "{format} output differs under SNBC_THREADS=1");
+        assert_eq!(a, t7, "{format} output differs under SNBC_THREADS=7");
+        // Machine mode keeps stdout document-only: it must start with `{`.
+        assert_eq!(a.first(), Some(&b'{'), "{format} stdout is not a bare document");
+    }
+}
+
+#[test]
+fn gate_passes_with_an_absent_baseline_when_tree_is_clean() {
+    // The committed tree carries zero findings, so pointing --baseline at a
+    // non-existent file (every finding a regression) must still exit 0.
+    let missing = std::env::temp_dir().join(format!(
+        "snbc-audit-no-baseline-{}.txt",
+        std::process::id()
+    ));
+    let out = run_audit(&["--baseline", missing.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "clean tree must pass with an empty/absent baseline.\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn explain_subcommand_documents_every_rule() {
+    for rule in [
+        "float-eq",
+        "panicking",
+        "lossy-cast",
+        "raw-thread",
+        "raw-instant",
+        "nondet-iter",
+        "swallowed-result",
+        "env-read",
+        "unordered-reduce",
+        "arch",
+    ] {
+        let out = run_audit(&["explain", rule]);
+        assert!(out.status.success(), "explain {rule} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("rationale:"), "explain {rule}: {stdout}");
+        assert!(stdout.contains("audit:allow"), "explain {rule}: {stdout}");
+    }
+    // Unknown rules exit non-zero and list the catalog on stderr.
+    let out = run_audit(&["explain", "no-such-rule"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nondet-iter"));
 }
