@@ -16,9 +16,18 @@ mkdir -p target/audit
 cargo run -q -p snbc-audit -- --format sarif --output target/audit/audit.sarif
 cargo run -q -p snbc-audit -- --format json --output target/audit/audit.json
 grep -q '"name":"snbc-audit"' target/audit/audit.sarif
-grep -q '"schema":"snbc-audit/2"' target/audit/audit.json
+grep -q '"schema":"snbc-audit/3"' target/audit/audit.json
 
-echo "==> snbc-audit gate holds with an absent baseline (tree must be clean)"
+echo "==> snbc-audit graph artifact (call/arch DAG, canonical bytes)"
+cargo run -q -p snbc-audit -- graph --format dot --output target/audit/graph.dot
+cargo run -q -p snbc-audit -- graph --format json --output target/audit/graph.json
+grep -q '^digraph' target/audit/graph.dot
+grep -q '"schema":"snbc-audit-graph/1"' target/audit/graph.json
+
+echo "==> snbc-audit effect-contract gate (absent baseline, tree must be clean)"
+# With an empty/absent baseline every finding is a regression, so this leg
+# proves the tree satisfies the interprocedural contracts (solver-effects,
+# hot-alloc, par-callee) with zero tolerance, on top of the leaf rules.
 cargo run -q -p snbc-audit -- --baseline target/audit/no-such-baseline.txt
 
 echo "==> cargo doc (rustdoc gate, warnings are errors)"

@@ -26,7 +26,6 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const SOLVER_CORE: &[&str] = &[
         "snbc-linalg",
         "snbc-trace",
-        "snbc-trace",
         "snbc-telemetry",
         "snbc-par",
     ];
@@ -185,6 +184,7 @@ pub fn check_manifest(crate_dir: &str, rel_path: &str, manifest: &str) -> Vec<Fi
             message: format!(
                 "crate `{crate_dir}` is not part of the DESIGN.md dependency DAG — add it to snbc-audit's arch table"
             ),
+            chain: Vec::new(),
         });
         return findings;
     };
@@ -196,6 +196,7 @@ pub fn check_manifest(crate_dir: &str, rel_path: &str, manifest: &str) -> Vec<Fi
                 file: rel_path.to_string(),
                 line: dep.line,
                 message: format!("build-dependency `{}` — the workspace bans build scripts", dep.name),
+                chain: Vec::new(),
             });
             continue;
         }
@@ -209,6 +210,7 @@ pub fn check_manifest(crate_dir: &str, rel_path: &str, manifest: &str) -> Vec<Fi
                         "dependency `{}` violates the DESIGN.md DAG for crate `{}`",
                         dep.name, crate_dir
                     ),
+                    chain: Vec::new(),
                 });
             }
         } else if !SANCTIONED_EXTERNAL.contains(&dep.name.as_str()) {
@@ -221,6 +223,7 @@ pub fn check_manifest(crate_dir: &str, rel_path: &str, manifest: &str) -> Vec<Fi
                     dep.name,
                     SANCTIONED_EXTERNAL.join(", ")
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -215,6 +215,7 @@ mod tests {
             file: file.to_string(),
             line,
             message: String::new(),
+            chain: Vec::new(),
         }
     }
 
@@ -268,6 +269,43 @@ mod tests {
         assert_eq!(d.regressions.len(), 1);
         assert_eq!(d.regressions[0].0, Rule::FloatEq);
         assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn effect_migration_invalidates_only_the_migrated_rules() {
+        // A baseline written before the interprocedural-effects migration:
+        // raw-thread/raw-instant entries recorded against the old syntactic
+        // matchers (v2), env-read against v1, float-eq already current. After
+        // the migration (raw-thread v3, raw-instant v3, env-read v2) only the
+        // migrated rules' entries go stale; float-eq's ratchet keeps holding.
+        let text = "version 2\n\
+                    rule env-read 1\n\
+                    rule float-eq 1\n\
+                    rule raw-instant 2\n\
+                    rule raw-thread 2\n\
+                    env-read crates/a/src/lib.rs 2\n\
+                    float-eq crates/a/src/lib.rs 1\n\
+                    raw-instant crates/b/src/lib.rs 1\n\
+                    raw-thread crates/b/src/lib.rs 1\n";
+        let b = parse(&text.replace("                    ", "")).unwrap();
+        let stale: Vec<Rule> = b.stale_rules().iter().map(|(r, _, _)| *r).collect();
+        assert_eq!(stale, vec![Rule::RawThread, Rule::RawInstant, Rule::EnvRead]);
+        let effective = b.effective_entries();
+        assert_eq!(effective.len(), 1);
+        assert!(effective.contains_key(&(Rule::FloatEq, "crates/a/src/lib.rs".into())));
+
+        // The same counts re-rendered today parse back clean: the pins now
+        // carry the post-migration versions.
+        let findings = vec![
+            finding(Rule::EnvRead, "crates/a/src/lib.rs", 1),
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 2),
+            finding(Rule::RawThread, "crates/b/src/lib.rs", 3),
+        ];
+        let regenerated = parse(&render(&findings)).unwrap();
+        assert!(regenerated.stale_rules().is_empty());
+        assert!(diff(&findings, &regenerated).is_clean());
+        assert!(render(&findings).contains("rule raw-thread 3"));
+        assert!(render(&findings).contains("rule env-read 2"));
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Canonical dumps of the workspace call/arch graph (`snbc-audit graph`).
+//!
+//! Two formats, both deterministic byte-for-byte:
+//!
+//! - **JSON** (`snbc-audit-graph/1`, via the canonical [`crate::json`]
+//!   encoder): crates with their manifest dependency edges, every linked
+//!   function with its propagated effect set, and every resolved call edge.
+//! - **DOT**: one cluster per crate with function nodes (hot functions drawn
+//!   bold, effect names in the label), solid call edges, and the crate-level
+//!   arch DAG as dashed edges between crate anchor nodes.
+
+use crate::callgraph::CallGraph;
+use crate::json::{render, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Graph JSON schema identifier; bump on any shape change.
+pub const GRAPH_SCHEMA: &str = "snbc-audit-graph/1";
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+/// Render the call/arch graph as canonical JSON.
+pub fn render_graph_json(graph: &CallGraph) -> String {
+    let crate_names: BTreeSet<&str> = graph
+        .nodes
+        .iter()
+        .map(|n| n.crate_name.as_str())
+        .chain(graph.crate_deps.iter().map(|(c, _)| c.as_str()))
+        .collect();
+    let crates: Vec<Value> = crate_names
+        .iter()
+        .map(|&name| {
+            let mut deps: Vec<&str> = graph
+                .crate_deps
+                .iter()
+                .filter(|(c, _)| c == name)
+                .map(|(_, d)| d.as_str())
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            obj(vec![
+                ("name", s(name)),
+                ("deps", Value::Arr(deps.into_iter().map(s).collect())),
+            ])
+        })
+        .collect();
+
+    let functions: Vec<Value> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(id, node)| {
+            let effects: Vec<Value> = graph.effects[id].iter().map(|e| s(e.name())).collect();
+            obj(vec![
+                ("id", Value::Int(id as i64)),
+                ("crate", s(&node.crate_name)),
+                ("symbol", s(&node.symbol)),
+                ("file", s(&node.file)),
+                ("line", Value::Int(node.decl.line as i64)),
+                ("arity", Value::Int(node.decl.arity as i64)),
+                ("hot", Value::Bool(node.decl.hot)),
+                ("effects", Value::Arr(effects)),
+            ])
+        })
+        .collect();
+
+    let mut edges: Vec<Value> = Vec::new();
+    for (id, resolved) in graph.resolved.iter().enumerate() {
+        for (ci, callees) in resolved {
+            let call = &graph.nodes[id].decl.calls[*ci];
+            for &callee in callees {
+                edges.push(obj(vec![
+                    ("from", Value::Int(id as i64)),
+                    ("to", Value::Int(i64::from(callee))),
+                    ("line", Value::Int(call.line as i64)),
+                ]));
+            }
+        }
+    }
+
+    let doc = obj(vec![
+        ("schema", s(GRAPH_SCHEMA)),
+        ("crates", Value::Arr(crates)),
+        ("functions", Value::Arr(functions)),
+        ("edges", Value::Arr(edges)),
+    ]);
+    render(&doc)
+}
+
+fn dot_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the call/arch graph as Graphviz DOT.
+pub fn render_graph_dot(graph: &CallGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph snbc {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+
+    let crate_names: BTreeSet<&str> = graph
+        .nodes
+        .iter()
+        .map(|n| n.crate_name.as_str())
+        .chain(graph.crate_deps.iter().map(|(c, _)| c.as_str()))
+        .chain(graph.crate_deps.iter().map(|(_, d)| d.as_str()))
+        .collect();
+
+    for &name in &crate_names {
+        let _ = writeln!(out, "  subgraph \"cluster_{name}\" {{");
+        let _ = writeln!(out, "    label=\"{}\";", dot_escape(name));
+        let _ = writeln!(out, "    \"crate_{name}\" [shape=point, style=invis];");
+        for (id, node) in graph.nodes.iter().enumerate() {
+            if node.crate_name != name {
+                continue;
+            }
+            let effects = graph.effects[id].names();
+            let label = if effects.is_empty() {
+                node.decl.qualified.clone()
+            } else {
+                format!("{}\\n[{}]", node.decl.qualified, effects)
+            };
+            let style = if node.decl.hot {
+                ", style=bold, color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    n{id} [label=\"{}\"{style}];", dot_escape(&label));
+        }
+        out.push_str("  }\n");
+    }
+
+    for (id, resolved) in graph.resolved.iter().enumerate() {
+        let mut targets: Vec<u32> = resolved
+            .iter()
+            .flat_map(|(_, callees)| callees.iter().copied())
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for callee in targets {
+            let _ = writeln!(out, "  n{id} -> n{callee};");
+        }
+    }
+
+    // Crate-level arch DAG, dashed, between the invisible cluster anchors.
+    let mut deps: Vec<&(String, String)> = graph.crate_deps.iter().collect();
+    deps.sort();
+    deps.dedup();
+    for (from, to) in deps {
+        let _ = writeln!(
+            out,
+            "  \"crate_{from}\" -> \"crate_{to}\" [style=dashed, constraint=false, \
+             ltail=\"cluster_{from}\", lhead=\"cluster_{to}\"];"
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{CallGraph, FileAnalysis};
+    use crate::effects::leaf_effects;
+    use crate::scopes::ScopeTable;
+    use crate::syntax::ItemTree;
+    use crate::tokenizer::tokenize;
+
+    fn graph() -> CallGraph {
+        let files: Vec<FileAnalysis> = [
+            (
+                "util",
+                "crates/util/src/lib.rs",
+                "pub fn peek() -> bool { std::env::var(\"X\").is_ok() }\n",
+            ),
+            (
+                "lp",
+                "crates/lp/src/lib.rs",
+                "pub fn solve() -> bool { snbc_util::peek() }\n",
+            ),
+        ]
+        .iter()
+        .map(|(c, f, src)| {
+            let lexed = tokenize(src);
+            let tree = ItemTree::build(&lexed.tokens);
+            let scopes = ScopeTable::build(&lexed.tokens, &tree);
+            let leaves = leaf_effects(&lexed.tokens, &tree, &scopes);
+            crate::callgraph::analyze_file(c, f, &lexed, &tree, &scopes, &leaves, &[])
+        })
+        .collect();
+        let mut g = CallGraph::build(&files);
+        g.crate_deps = vec![("lp".to_string(), "util".to_string())];
+        g
+    }
+
+    #[test]
+    fn json_dump_is_canonical_and_parseable() {
+        let g = graph();
+        let text = render_graph_json(&g);
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(GRAPH_SCHEMA)
+        );
+        assert_eq!(crate::json::render(&doc), text, "canonical bytes");
+        let functions = doc.get("functions").and_then(Value::as_arr).unwrap();
+        assert_eq!(functions.len(), 2);
+        // `lp::solve` carries the propagated reads-env effect.
+        let solve = functions
+            .iter()
+            .find(|f| f.get("symbol").and_then(Value::as_str) == Some("lp::solve"))
+            .unwrap();
+        let effects = solve.get("effects").and_then(Value::as_arr).unwrap();
+        assert!(effects.iter().any(|e| e.as_str() == Some("reads-env")));
+        assert_eq!(doc.get("edges").and_then(Value::as_arr).map(<[Value]>::len), Some(1));
+    }
+
+    #[test]
+    fn dot_dump_has_clusters_and_edges() {
+        let g = graph();
+        let dot = render_graph_dot(&g);
+        assert!(dot.contains("subgraph \"cluster_lp\""), "{dot}");
+        assert!(dot.contains("subgraph \"cluster_util\""), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -16,13 +16,21 @@
 //!   numeric casts, `HashMap`/`HashSet` iteration, raw `thread::spawn` /
 //!   `Instant::now` / `std::env` reads outside their owner crates, and
 //!   unordered float reductions over `par_map_collect` output;
+//! - an interprocedural effect engine: per-function effect leaves
+//!   ([`effects`]), a workspace call graph with SCC-fixpoint propagation
+//!   ([`callgraph`]), and declarative contracts over the propagated sets
+//!   ([`contracts`]) — solver crates transitively env/thread/clock-free,
+//!   `// audit:hot` functions transitively allocation-free, parallel
+//!   callees fold-order-safe;
 //! - architecture rules ([`arch`]): Cargo.toml dependencies must match the
 //!   DESIGN.md DAG, externals limited to `rand`/`proptest`/`criterion`/`serde`;
 //! - a versioned regression baseline ([`baseline`], format v2) with
 //!   statement-scoped `// audit:allow(<rule>)` suppressions;
 //! - deterministic machine reports ([`sarif`] over the canonical [`json`]
-//!   encoder): `--format json` (`snbc-audit/2`) and `--format sarif`
-//!   (SARIF 2.1.0), byte-identical across runs and `SNBC_THREADS`.
+//!   encoder): `--format json` (`snbc-audit/3`, findings carry call chains)
+//!   and `--format sarif` (SARIF 2.1.0 with `codeFlows`), byte-identical
+//!   across runs and `SNBC_THREADS`; [`graphout`] dumps the call/arch graph
+//!   as canonical JSON or DOT (`snbc-audit graph`).
 //!
 //! The binary exits non-zero on regressions, so `ci.sh` and the tier-1 test
 //! suite can use it as a gate; `snbc-audit explain <rule>` documents each
@@ -32,6 +40,10 @@
 //! invariants inside the hot loops themselves.
 
 pub mod arch;
+pub mod callgraph;
+pub mod contracts;
+pub mod effects;
+pub mod graphout;
 pub mod json;
 pub mod sarif;
 pub mod scopes;
@@ -40,6 +52,7 @@ pub mod baseline;
 pub mod rules;
 pub mod tokenizer;
 
+use callgraph::{CallGraph, FileAnalysis};
 use rules::{Finding, ScanOptions};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -65,6 +78,11 @@ pub const INSTANT_OWNER_CRATES: &[&str] = &["trace", "telemetry", "par"];
 /// reproducibility (`env-read` rule).
 pub const ENV_OWNER_CRATES: &[&str] = &["par", "cli", "audit"];
 
+/// Crates whose own code may perform unordered float folds: the parallel
+/// runtime, whose reduction trees are deterministic by construction. The
+/// `unordered-fp-fold` effect is masked at leaves inside these crates.
+pub const FOLD_OWNER_CRATES: &[&str] = &["par"];
+
 /// Configuration for a workspace audit run.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
@@ -72,20 +90,26 @@ pub struct AuditConfig {
     pub root: PathBuf,
 }
 
-/// Result of a workspace audit: all unsuppressed findings, sorted.
+/// Result of a workspace audit: all unsuppressed findings, sorted, plus the
+/// linked call graph the effect contracts ran over (kept for `graph` dumps).
 #[derive(Debug, Default)]
 pub struct AuditReport {
     pub findings: Vec<Finding>,
     /// Files scanned (workspace-relative), for reporting/coverage checks.
     pub files_scanned: usize,
+    pub graph: CallGraph,
 }
 
 /// Walk `crates/*/src/**/*.rs` plus every `crates/*/Cargo.toml` and apply all
-/// rules. IO problems are hard errors: an unreadable source file must fail
-/// the gate, not silently shrink its coverage.
+/// rules: pass 1 scans each file (syntactic rules + call-graph harvest),
+/// pass 2 links the workspace graph, propagates effects, and runs the
+/// contracts. IO problems are hard errors: an unreadable source file must
+/// fail the gate, not silently shrink its coverage.
 pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
     let crates_dir = cfg.root.join("crates");
     let mut report = AuditReport::default();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut crate_deps: Vec<(String, String)> = Vec::new();
 
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -109,20 +133,21 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
             report
                 .findings
                 .extend(arch::check_manifest(&crate_name, &rel, &manifest));
+            for dep in arch::parse_dependencies(&manifest) {
+                if dep.section != "dependencies" {
+                    continue;
+                }
+                if let Some(dir) = crate_dir_of_package(&dep.name) {
+                    crate_deps.push((crate_name.clone(), dir));
+                }
+            }
         }
 
         let src_dir = crate_dir.join("src");
         if !src_dir.is_dir() {
             continue;
         }
-        let opts = ScanOptions {
-            check_panicking: SOLVER_CRATES.contains(&crate_name.as_str()),
-            check_raw_thread: !THREAD_OWNER_CRATES.contains(&crate_name.as_str()),
-            check_raw_instant: !INSTANT_OWNER_CRATES.contains(&crate_name.as_str()),
-            check_swallowed_result: SOLVER_CRATES.contains(&crate_name.as_str()),
-            check_env_read: !ENV_OWNER_CRATES.contains(&crate_name.as_str()),
-            check_unordered_reduce: crate_name != "par",
-        };
+        let opts = ScanOptions::for_crate(&crate_name);
         let mut sources = Vec::new();
         collect_rs_files(&src_dir, &mut sources)?;
         sources.sort();
@@ -130,13 +155,49 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
             let src = fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let rel = rel_path(&cfg.root, &path);
-            report.findings.extend(rules::scan_source(&rel, &src, opts));
+            let scan = rules::scan_source_full(&rel, &src, opts, &crate_name);
+            report.findings.extend(scan.findings);
+            analyses.push(scan.analysis);
             report.files_scanned += 1;
         }
     }
 
+    crate_deps.sort();
+    crate_deps.dedup();
+    report.graph = CallGraph::build(&analyses);
+    report.graph.crate_deps = crate_deps;
+    report.findings.extend(contracts::check(&report.graph));
     report.findings.sort();
     Ok(report)
+}
+
+/// Audit an in-memory set of `(crate_name, rel_path, source)` files — the
+/// multi-crate fixture entry point used by interprocedural tests. Runs the
+/// same two passes as [`audit_workspace`] minus the manifest checks.
+pub fn audit_files(files: &[(&str, &str, &str)]) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    for (crate_name, rel, src) in files {
+        let opts = ScanOptions::for_crate(crate_name);
+        let scan = rules::scan_source_full(rel, src, opts, crate_name);
+        report.findings.extend(scan.findings);
+        analyses.push(scan.analysis);
+        report.files_scanned += 1;
+    }
+    report.graph = CallGraph::build(&analyses);
+    report.findings.extend(contracts::check(&report.graph));
+    report.findings.sort();
+    report
+}
+
+/// Map an internal package name to its crate directory (`snbc-linalg` →
+/// "linalg"; the `crates/core` package is plain `snbc`). External packages
+/// return None.
+fn crate_dir_of_package(package: &str) -> Option<String> {
+    if package == "snbc" {
+        return Some("core".to_string());
+    }
+    package.strip_prefix("snbc-").map(|rest| rest.to_string())
 }
 
 /// Render findings grouped by rule, for terminal output.
@@ -150,6 +211,14 @@ pub fn render_findings(findings: &[Finding]) -> String {
         out.push_str(&format!("[{}] {} finding(s)\n", rule.id(), of_rule.len()));
         for f in of_rule {
             out.push_str(&format!("  {}:{}: {}\n", f.file, f.line, f.message));
+            // Contract findings carry the interprocedural call chain; skip
+            // frame 0 (the flagged site itself, already printed above).
+            for frame in f.chain.iter().skip(1) {
+                out.push_str(&format!(
+                    "    via {}:{}: {}\n",
+                    frame.file, frame.line, frame.note
+                ));
+            }
         }
     }
     out

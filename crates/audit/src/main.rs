@@ -5,6 +5,7 @@
 //! snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]
 //!            [--format text|json|sarif] [--output <file>]
 //! snbc-audit explain <rule-id>
+//! snbc-audit graph [--root <dir>] [--format json|dot] [--output <file>]
 //! ```
 //!
 //! In `json`/`sarif` mode the document is the **only** thing written to
@@ -15,6 +16,7 @@
 //!
 //! Exit codes: 0 = clean vs baseline, 1 = regressions, 2 = usage/IO error.
 
+use snbc_audit::graphout::{render_graph_dot, render_graph_json};
 use snbc_audit::rules::{Rule, RULES};
 use snbc_audit::sarif::{render_json_report, render_sarif, Report};
 use snbc_audit::{audit_workspace, baseline, render_findings, AuditConfig};
@@ -45,7 +47,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list] \
-                     [--format text|json|sarif] [--output <file>] | snbc-audit explain <rule-id>";
+                     [--format text|json|sarif] [--output <file>] | snbc-audit explain <rule-id> \
+                     | snbc-audit graph [--root <dir>] [--format json|dot] [--output <file>]";
 
 fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
@@ -62,6 +65,7 @@ fn run() -> Result<bool, String> {
                 let id = args.next().ok_or("explain needs a rule id")?;
                 return explain(&id);
             }
+            "graph" => return graph_dump(args),
             "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
             "--baseline" => {
                 baseline_path =
@@ -196,12 +200,66 @@ fn run() -> Result<bool, String> {
             .filter(|f| f.rule == *rule && &f.file == file)
         {
             eprintln!("    {}:{}: {}", f.file, f.line, f.message);
+            for frame in f.chain.iter().skip(1) {
+                eprintln!("      via {}:{}: {}", frame.file, frame.line, frame.note);
+            }
         }
     }
     eprintln!(
         "snbc-audit: fix the findings, annotate `// audit:allow(<rule>)` where exactness is intended, or run with --update-baseline"
     );
     Ok(false)
+}
+
+/// `snbc-audit graph`: link the workspace call/arch graph and dump it as
+/// canonical JSON (default) or Graphviz DOT. The dump bytes are deterministic
+/// across runs and `SNBC_THREADS` values, like the audit reports.
+fn graph_dump(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut dot = false;
+    let mut output: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--format" => {
+                dot = match args.next().ok_or("--format needs a value")?.as_str() {
+                    "json" => false,
+                    "dot" => true,
+                    other => return Err(format!("unknown graph format `{other}` (json|dot)")),
+                }
+            }
+            "--output" => {
+                output = Some(PathBuf::from(args.next().ok_or("--output needs a value")?))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root: {e}"))?;
+    let report = audit_workspace(&AuditConfig { root })?;
+    let text = if dot {
+        render_graph_dot(&report.graph)
+    } else {
+        render_graph_json(&report.graph)
+    };
+    match &output {
+        Some(path) => {
+            std::fs::write(path, text.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("snbc-audit: graph written to {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+    Ok(true)
 }
 
 /// `snbc-audit explain <rule>`: print one rule's metadata, or list all rules

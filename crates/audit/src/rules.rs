@@ -13,6 +13,16 @@
 //! | `swallowed-result` | `let _ =` / bare `.ok();` discarding a value in solver crates |
 //! | `env-read` | `std::env::var{,_os}` / `vars{,_os}` outside `crates/par`, `crates/cli`, `crates/audit` |
 //! | `unordered-reduce` | `+=` / `.sum()` accumulation over `par_map_collect` output outside `crates/par` |
+//! | `solver-effects` | solver-stack call that transitively reaches an env/clock/thread effect outside the stack |
+//! | `hot-alloc` | allocation (direct or through a resolved callee) in an `// audit:hot` function |
+//! | `par-callee` | callable passed to an `snbc_par` entry point that carries a nondeterministic effect |
+//!
+//! `raw-thread`, `raw-instant`, and `env-read` detect their *leaves* through
+//! the effect engine ([`crate::effects`]): call-shaped, alias-resolved sites
+//! only, so a renamed import (`use std::thread::spawn as sp`) is caught and a
+//! `use` declaration's tokens are not. The three contract rules come from
+//! [`crate::contracts`] over the linked [`crate::callgraph`] and carry their
+//! full call chain ([`Frame`]) down to the leaf.
 //!
 //! Rules are **scope-aware**: they run over the [`crate::syntax::ItemTree`]
 //! (so `#[cfg(test)]` / `#[test]` items are skipped structurally, nested
@@ -24,6 +34,8 @@
 //! statement, or on the line directly above it, silences that rule inside
 //! the statement.
 
+use crate::callgraph::{self, FileAnalysis};
+use crate::effects::{self, Effect, Leaf};
 use crate::scopes::{path_is, ScopeTable};
 use crate::syntax::{ItemTree, ScopeKind};
 use crate::tokenizer::{tokenize, Lexed, Token, TokenKind};
@@ -42,6 +54,9 @@ pub enum Rule {
     SwallowedResult,
     EnvRead,
     UnorderedReduce,
+    SolverEffects,
+    HotAlloc,
+    ParCallee,
     Arch,
 }
 
@@ -114,7 +129,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         rule: Rule::RawThread,
         id: "raw-thread",
-        version: 2,
+        // v3: leaves come from the effect engine — call-shaped and
+        // alias-resolved, so renamed fn imports are caught and `use`
+        // declarations are no longer flagged.
+        version: 3,
         summary: "raw thread::spawn outside the deterministic runtime",
         rationale: "All parallelism must go through snbc-par: its index-ordered \
                     reductions and SNBC_THREADS pool are what make certificates bitwise \
@@ -126,8 +144,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         rule: Rule::RawInstant,
         id: "raw-instant",
-        version: 2,
-        summary: "raw Instant::now outside the trace clock owners",
+        // v3: effect-engine leaves (call-shaped, alias-resolved; also covers
+        // `SystemTime::now`).
+        version: 3,
+        summary: "raw Instant::now / SystemTime::now outside the trace clock owners",
         rationale: "Every timestamp must sit on the single snbc-trace epoch so run \
                     reports and Perfetto timelines line up; a raw Instant::now creates \
                     a second clock that drifts from the trace.",
@@ -162,7 +182,9 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         rule: Rule::EnvRead,
         id: "env-read",
-        version: 1,
+        // v2: effect-engine leaves — renamed imports (`use std::env::var as
+        // v`) are now caught at the call site.
+        version: 2,
         summary: "environment read outside the sanctioned config surfaces",
         rationale: "Run reports are only reproducible if every input is visible: \
                     SNBC_THREADS is read once by snbc-par and recorded in telemetry, \
@@ -185,6 +207,49 @@ pub const RULES: &[RuleInfo] = &[
         fix: "Use snbc_par::par_map_reduce, or keep the serial fold and annotate \
               `// audit:allow(unordered-reduce)` noting why the order is fixed \
               (index-ascending over the already-ordered output).",
+    },
+    RuleInfo {
+        rule: Rule::SolverEffects,
+        id: "solver-effects",
+        version: 1,
+        summary: "solver-stack call transitively reaching env/clock/thread effects",
+        rationale: "The per-site rules catch a leaf *inside* the solver stack, but a \
+                    call that leaves the stack and reaches std::env::var three frames \
+                    down is just as much a hidden input. The call graph propagates \
+                    spawns-thread / reads-time / reads-env to a fixpoint and this \
+                    contract fires on the boundary edge, with the full chain attached.",
+        fix: "Thread the setting/clock through a config struct or the sanctioned \
+              wrappers (snbc-par, snbc-trace), or annotate the boundary call with \
+              `// audit:allow(solver-effects)` and a reason.",
+    },
+    RuleInfo {
+        rule: Rule::HotAlloc,
+        id: "hot-alloc",
+        version: 1,
+        summary: "allocation inside an `// audit:hot` function",
+        rationale: "Functions marked `// audit:hot` are per-iteration kernels (learner \
+                    epochs, Schur assembly, counterexample ascent); an allocation \
+                    there — direct, or through any resolved workspace callee — turns \
+                    O(1) inner-loop work into allocator traffic that dominates the \
+                    profile. The effect lattice is a lower bound: unresolved calls \
+                    are not flagged but show as `unresolved-call` in the graph dump.",
+        fix: "Hoist the buffer out of the loop and reuse it (fill/copy_from_slice \
+              instead of vec!/collect), or justify a setup allocation with \
+              `// audit:allow(hot-alloc)` on its statement.",
+    },
+    RuleInfo {
+        rule: Rule::ParCallee,
+        id: "par-callee",
+        version: 1,
+        summary: "nondeterministic callable handed to an snbc_par entry point",
+        rationale: "snbc-par's determinism guarantee assumes the callables it runs \
+                    are pure with respect to scheduling: a closure that reads the \
+                    environment, samples a clock, spawns threads, or folds floats in \
+                    a noncanonical order produces different bits at different thread \
+                    counts even under the fixed chunk grid.",
+        fix: "Move env/clock reads out of the callable (capture the value instead), \
+              and route reductions through par_map_reduce's index-ordered fold; \
+              annotate `// audit:allow(par-callee)` only with a determinism argument.",
     },
 ];
 
@@ -212,13 +277,25 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One violation, reported against a workspace-relative path.
+/// One step of an interprocedural call chain, from the reported site down to
+/// the effect leaf. Exported as SARIF `codeFlows`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Frame {
+    pub file: String,
+    pub line: usize,
+    /// Human-readable step, e.g. "`sdp::solve` calls `core::train`".
+    pub note: String,
+}
+
+/// One violation, reported against a workspace-relative path. Effect-contract
+/// findings carry the call chain to the leaf; per-site findings leave it empty.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     pub rule: Rule,
     pub file: String,
     pub line: usize,
     pub message: String,
+    pub chain: Vec<Frame>,
 }
 
 impl fmt::Display for Finding {
@@ -248,6 +325,21 @@ pub struct ScanOptions {
     pub check_unordered_reduce: bool,
 }
 
+impl ScanOptions {
+    /// The canonical per-crate gating, shared by the workspace walk and the
+    /// in-memory [`crate::audit_files`] entry point.
+    pub fn for_crate(crate_name: &str) -> ScanOptions {
+        ScanOptions {
+            check_panicking: crate::SOLVER_CRATES.contains(&crate_name),
+            check_raw_thread: !crate::THREAD_OWNER_CRATES.contains(&crate_name),
+            check_raw_instant: !crate::INSTANT_OWNER_CRATES.contains(&crate_name),
+            check_swallowed_result: crate::SOLVER_CRATES.contains(&crate_name),
+            check_env_read: !crate::ENV_OWNER_CRATES.contains(&crate_name),
+            check_unordered_reduce: crate_name != "par",
+        }
+    }
+}
+
 /// Shared context handed to every rule: the token stream plus the syntax and
 /// symbol layers built over it.
 pub struct RuleCtx<'a> {
@@ -255,6 +347,8 @@ pub struct RuleCtx<'a> {
     pub tokens: &'a [Token],
     pub tree: &'a ItemTree,
     pub scopes: &'a ScopeTable,
+    /// Effect leaves of the file (shared with the call-graph harvest).
+    pub leaves: &'a [Leaf],
     pub opts: ScanOptions,
 }
 
@@ -289,21 +383,39 @@ impl RuleCtx<'_> {
                 file: self.file.to_string(),
                 line: self.tokens[tok].line,
                 message,
+                chain: Vec::new(),
             },
         )
     }
 }
 
+/// Per-file scan result: the findings plus the call-graph harvest consumed by
+/// the interprocedural pass.
+#[derive(Debug)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    pub analysis: FileAnalysis,
+}
+
 /// Scan one source file and return its (unsuppressed) findings.
 pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding> {
+    scan_source_full(rel_path, src, opts, "").findings
+}
+
+/// Full per-file pass: tokenize once, compute effect leaves once, run every
+/// syntactic rule, and harvest the [`FileAnalysis`] for the call-graph layer.
+/// `crate_name` drives leaf ownership masking (empty = no crate, mask nothing).
+pub fn scan_source_full(rel_path: &str, src: &str, opts: ScanOptions, crate_name: &str) -> FileScan {
     let lexed = tokenize(src);
     let tree = ItemTree::build(&lexed.tokens);
     let scopes = ScopeTable::build(&lexed.tokens, &tree);
+    let leaves = effects::leaf_effects(&lexed.tokens, &tree, &scopes);
     let ctx = RuleCtx {
         file: rel_path,
         tokens: &lexed.tokens,
         tree: &tree,
         scopes: &scopes,
+        leaves: &leaves,
         opts,
     };
 
@@ -319,35 +431,62 @@ pub fn scan_source(rel_path: &str, src: &str, opts: ScanOptions) -> Vec<Finding>
     if opts.check_raw_instant {
         hits.extend(raw_instant(&ctx));
     }
-    hits.extend(nondet_iter(&ctx));
+    let nondet_hits = nondet_iter(&ctx);
     if opts.check_swallowed_result {
         hits.extend(swallowed_result(&ctx));
     }
     if opts.check_env_read {
         hits.extend(env_read(&ctx));
     }
-    if opts.check_unordered_reduce {
-        hits.extend(unordered_reduce(&ctx));
-    }
+    let reduce_hits = if opts.check_unordered_reduce {
+        unordered_reduce(&ctx)
+    } else {
+        Vec::new()
+    };
 
+    // Unsuppressed fold-order hazards feed the effect lattice as
+    // `unordered-fp-fold` leaves (a suppressed site was argued safe and must
+    // not poison callers).
+    let fold_leaves: Vec<Leaf> = nondet_hits
+        .iter()
+        .chain(reduce_hits.iter())
+        .filter(|(tok, f)| !is_suppressed(&lexed, &tree, f.rule.id(), *tok, f.line))
+        .map(|&(tok, ref f)| Leaf {
+            effect: Effect::UnorderedFpFold,
+            tok,
+            line: f.line,
+            what: "unordered float fold".to_string(),
+        })
+        .collect();
+    let analysis = callgraph::analyze_file(
+        crate_name,
+        rel_path,
+        &lexed,
+        &tree,
+        &scopes,
+        &leaves,
+        &fold_leaves,
+    );
+
+    hits.extend(nondet_hits);
+    hits.extend(reduce_hits);
     let mut findings = apply_suppressions(hits, &lexed, &tree);
     findings.sort();
-    findings
+    FileScan { findings, analysis }
+}
+
+/// True when an `audit:allow(<rule>)` marker covers the statement holding
+/// `tok` (or the line directly above it).
+fn is_suppressed(lexed: &Lexed, tree: &ItemTree, rule_id: &str, tok: usize, line: usize) -> bool {
+    let stmt = tree.stmt_span(tok, line);
+    callgraph::suppressed_at(&lexed.suppressions, rule_id, stmt, line)
 }
 
 /// Drop findings whose enclosing statement span (or the line directly above
 /// it) carries an `audit:allow(<rule>)` marker.
 fn apply_suppressions(hits: Vec<Hit>, lexed: &Lexed, tree: &ItemTree) -> Vec<Finding> {
     hits.into_iter()
-        .filter(|(tok, f)| {
-            let (lo, hi) = tree.stmt_span(*tok, f.line);
-            let lo = lo.min(f.line);
-            let hi = hi.max(f.line);
-            !lexed
-                .suppressions
-                .iter()
-                .any(|s| s.rule == f.rule.id() && s.line + 1 >= lo && s.line <= hi)
-        })
+        .filter(|(tok, f)| !is_suppressed(lexed, tree, f.rule.id(), *tok, f.line))
         .map(|(_, f)| f)
         .collect()
 }
@@ -427,46 +566,44 @@ fn panicking(ctx: &RuleCtx) -> Vec<Hit> {
     hits
 }
 
+/// `raw-thread` v3: `spawns-thread` effect leaves. Call-shaped and
+/// alias-resolved, so `use std::thread::spawn as sp; sp(..)` is caught at the
+/// call site and `use` declarations are not flagged. Scoped `s.spawn(..)`
+/// inside `thread::scope` is a method call and produces no leaf.
 fn raw_thread(ctx: &RuleCtx) -> Vec<Hit> {
-    let mut hits = Vec::new();
-    for (i, tok) in ctx.tokens.iter().enumerate() {
-        if ctx.in_test(i) || tok.text != "spawn" || tok.kind != TokenKind::Ident {
-            continue;
-        }
-        // Scoped `s.spawn(..)` inside `thread::scope` is a method call and is
-        // judged by the `scope` call site; only path-shaped spawns count.
-        if ctx.path_is(i, "std::thread::spawn", 2) {
-            hits.push(ctx.hit(
+    ctx.leaves
+        .iter()
+        .filter(|l| l.effect == Effect::SpawnsThread)
+        .map(|l| {
+            ctx.hit(
                 Rule::RawThread,
-                i,
+                l.tok,
                 "raw `thread::spawn` — route parallelism through `snbc-par` \
                  (deterministic reduction + panic propagation) or annotate \
                  audit:allow(raw-thread)"
                     .to_string(),
-            ));
-        }
-    }
-    hits
+            )
+        })
+        .collect()
 }
 
+/// `raw-instant` v3: `reads-time` effect leaves (`Instant::now` and
+/// `SystemTime::now`, alias-aware).
 fn raw_instant(ctx: &RuleCtx) -> Vec<Hit> {
-    let mut hits = Vec::new();
-    for (i, tok) in ctx.tokens.iter().enumerate() {
-        if ctx.in_test(i) || tok.text != "now" || tok.kind != TokenKind::Ident {
-            continue;
-        }
-        if ctx.path_is(i, "std::time::Instant::now", 2) {
-            hits.push(ctx.hit(
+    ctx.leaves
+        .iter()
+        .filter(|l| l.effect == Effect::ReadsTime)
+        .map(|l| {
+            ctx.hit(
                 Rule::RawInstant,
-                i,
+                l.tok,
                 "raw `Instant::now` — use `snbc_trace::Stopwatch` (or \
                  `snbc_trace::now_us`) so timings share the trace clock, or \
                  annotate audit:allow(raw-instant)"
                     .to_string(),
-            ));
-        }
-    }
-    hits
+            )
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -605,30 +742,24 @@ fn stmt_discards_value(ctx: &RuleCtx, i: usize) -> bool {
     true
 }
 
+/// `env-read` v2: `reads-env` effect leaves (alias-aware, call-shaped).
 fn env_read(ctx: &RuleCtx) -> Vec<Hit> {
-    const READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
-    let mut hits = Vec::new();
-    for (i, tok) in ctx.tokens.iter().enumerate() {
-        if ctx.in_test(i) || tok.kind != TokenKind::Ident {
-            continue;
-        }
-        if READS.contains(&tok.text.as_str())
-            && ctx.text(i + 1) == "("
-            && ctx.path_is(i, &format!("std::env::{}", tok.text), 2)
-        {
-            hits.push(ctx.hit(
+    ctx.leaves
+        .iter()
+        .filter(|l| l.effect == Effect::ReadsEnv)
+        .map(|l| {
+            ctx.hit(
                 Rule::EnvRead,
-                i,
+                l.tok,
                 format!(
-                    "`std::env::{}` outside the sanctioned config surfaces — hidden \
-                     inputs break run-report reproducibility; thread it through a \
-                     config/CLI flag or annotate audit:allow(env-read)",
-                    tok.text
+                    "{} outside the sanctioned config surfaces — hidden inputs break \
+                     run-report reproducibility; thread it through a config/CLI flag \
+                     or annotate audit:allow(env-read)",
+                    l.what
                 ),
-            ));
-        }
-    }
-    hits
+            )
+        })
+        .collect()
 }
 
 fn unordered_reduce(ctx: &RuleCtx) -> Vec<Hit> {
@@ -1262,6 +1393,27 @@ mod tests {
                        for v in m.values() { drop(v); }\n\
                    }\n";
         assert!(scan_source("a.rs", src, ScanOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn renamed_imports_in_nested_use_groups_are_seen() {
+        // `use std::{env, thread as th}` must register `th` → `std::thread`
+        // so `th::spawn` is recognized as a raw spawn, and `env` alongside it.
+        let src = "use std::{env, thread as th};\n\
+                   fn f() { th::spawn(|| {}); let v = env::var(\"X\"); v.is_ok(); }";
+        let found = rules_of(src, NON_SOLVER);
+        assert!(found.contains(&Rule::RawThread), "{found:?}");
+        assert!(found.contains(&Rule::EnvRead), "{found:?}");
+        // A renamed *function* import dodges text-keyed scans entirely: the
+        // call site's ident is `sp`, never `spawn`. The finding must anchor
+        // at the call (line 2), not at the `use` declaration.
+        let renamed_fn = "use std::{env as e, thread::spawn as sp};\n\
+                          fn f() { sp(|| {}); let v = e::var(\"X\"); v.is_ok(); }";
+        let found = scan_source("a.rs", renamed_fn, NON_SOLVER);
+        let threads: Vec<_> = found.iter().filter(|f| f.rule == Rule::RawThread).collect();
+        assert_eq!(threads.len(), 1, "{found:?}");
+        assert_eq!(threads[0].line, 2, "must flag the call, not the import: {found:?}");
+        assert!(found.iter().any(|f| f.rule == Rule::EnvRead && f.line == 2), "{found:?}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Machine-readable audit reports: a compact JSON schema (`snbc-audit/2`)
+//! Machine-readable audit reports: a compact JSON schema (`snbc-audit/3`)
 //! and SARIF 2.1.0, both rendered through the canonical encoder in
 //! [`crate::json`] so output is **byte-identical across runs** (and across
 //! `SNBC_THREADS` values — findings are sorted before rendering) and
@@ -6,18 +6,21 @@
 //!
 //! Schema stability contract:
 //!
-//! - the JSON schema string is `"snbc-audit/2"`; any field change bumps it;
+//! - the JSON schema string is `"snbc-audit/3"`; any field change bumps it
+//!   (v3 added the optional per-finding `chain` — the interprocedural call
+//!   chain from the reported site to the effect leaf);
 //! - SARIF documents pin `version: "2.1.0"` and carry per-rule versions in
-//!   `rule.properties.ruleVersion`, mirroring baseline-v2 semantics;
+//!   `rule.properties.ruleVersion`, mirroring baseline semantics; findings
+//!   with a chain export it as `codeFlows[0].threadFlows[0].locations`;
 //! - both encoders emit findings in the canonical `Finding` sort order and
 //!   rules in id order, with insertion-ordered keys, so
 //!   `render(parse(render(x))) == render(x)` holds byte-for-byte.
 
 use crate::json::{parse, render, Value};
-use crate::rules::{Finding, Rule, RULES};
+use crate::rules::{Finding, Frame, Rule, RULES};
 
 /// JSON schema identifier; bump on any shape change.
-pub const JSON_SCHEMA: &str = "snbc-audit/2";
+pub const JSON_SCHEMA: &str = "snbc-audit/3";
 /// Pinned SARIF version and schema URI.
 pub const SARIF_VERSION: &str = "2.1.0";
 pub const SARIF_SCHEMA_URI: &str =
@@ -54,13 +57,31 @@ pub fn render_json_report(report: &Report) -> String {
         .findings
         .iter()
         .map(|f| {
-            obj(vec![
+            let mut pairs = vec![
                 ("rule", s(f.rule.id())),
                 ("rule_version", Value::Int(f.rule.version() as i64)),
                 ("file", s(&f.file)),
                 ("line", Value::Int(f.line as i64)),
                 ("message", s(&f.message)),
-            ])
+            ];
+            if !f.chain.is_empty() {
+                pairs.push((
+                    "chain",
+                    Value::Arr(
+                        f.chain
+                            .iter()
+                            .map(|fr| {
+                                obj(vec![
+                                    ("file", s(&fr.file)),
+                                    ("line", Value::Int(fr.line as i64)),
+                                    ("note", s(&fr.note)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            obj(pairs)
         })
         .collect();
     let doc = obj(vec![
@@ -93,6 +114,16 @@ pub fn parse_json_report(text: &str) -> Result<Report, String> {
     {
         let rule_id = f.get("rule").and_then(Value::as_str).ok_or("finding without rule")?;
         let rule = Rule::from_id(rule_id).ok_or_else(|| format!("unknown rule `{rule_id}`"))?;
+        let mut chain = Vec::new();
+        if let Some(frames) = f.get("chain").and_then(Value::as_arr) {
+            for fr in frames {
+                chain.push(parse_frame_obj(
+                    fr.get("file").and_then(Value::as_str),
+                    fr.get("line").and_then(Value::as_int),
+                    fr.get("note").and_then(Value::as_str),
+                )?);
+            }
+        }
         findings.push(Finding {
             rule,
             file: f
@@ -106,9 +137,22 @@ pub fn parse_json_report(text: &str) -> Result<Report, String> {
                 .and_then(Value::as_str)
                 .ok_or("finding without message")?
                 .to_string(),
+            chain,
         });
     }
     Ok(Report { files_scanned, findings })
+}
+
+fn parse_frame_obj(
+    file: Option<&str>,
+    line: Option<i64>,
+    note: Option<&str>,
+) -> Result<Frame, String> {
+    Ok(Frame {
+        file: file.ok_or("chain frame without file")?.to_string(),
+        line: line.ok_or("chain frame without line")? as usize,
+        note: note.ok_or("chain frame without note")?.to_string(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -127,8 +171,15 @@ fn sarif_rule(info: &crate::rules::RuleInfo) -> Value {
     ])
 }
 
-fn sarif_result(f: &Finding) -> Value {
+fn physical_location(file: &str, line: usize) -> Value {
     obj(vec![
+        ("artifactLocation", obj(vec![("uri", s(file))])),
+        ("region", obj(vec![("startLine", Value::Int(line as i64))])),
+    ])
+}
+
+fn sarif_result(f: &Finding) -> Value {
+    let mut pairs = vec![
         ("ruleId", s(f.rule.id())),
         ("level", s("error")),
         ("message", obj(vec![("text", s(&f.message))])),
@@ -136,16 +187,35 @@ fn sarif_result(f: &Finding) -> Value {
             "locations",
             Value::Arr(vec![obj(vec![(
                 "physicalLocation",
-                obj(vec![
-                    ("artifactLocation", obj(vec![("uri", s(&f.file))])),
-                    (
-                        "region",
-                        obj(vec![("startLine", Value::Int(f.line as i64))]),
-                    ),
-                ]),
+                physical_location(&f.file, f.line),
             )])]),
         ),
-    ])
+    ];
+    if !f.chain.is_empty() {
+        // One codeFlow, one threadFlow: the deterministic shortest call chain
+        // from the reported site down to the effect leaf.
+        let locations: Vec<Value> = f
+            .chain
+            .iter()
+            .map(|fr| {
+                obj(vec![(
+                    "location",
+                    obj(vec![
+                        ("physicalLocation", physical_location(&fr.file, fr.line)),
+                        ("message", obj(vec![("text", s(&fr.note))])),
+                    ]),
+                )])
+            })
+            .collect();
+        pairs.push((
+            "codeFlows",
+            Value::Arr(vec![obj(vec![(
+                "threadFlows",
+                Value::Arr(vec![obj(vec![("locations", Value::Arr(locations))])]),
+            )])]),
+        ));
+    }
+    obj(pairs)
 }
 
 /// Render a SARIF 2.1.0 document (canonical bytes). The full rule catalog is
@@ -242,7 +312,36 @@ pub fn parse_sarif(text: &str) -> Result<Report, String> {
             .and_then(|r| r.get("startLine"))
             .and_then(Value::as_int)
             .ok_or("result without region.startLine")? as usize;
-        findings.push(Finding { rule, file, line, message });
+        let mut chain = Vec::new();
+        if let Some(locs) = res
+            .get("codeFlows")
+            .and_then(Value::as_arr)
+            .and_then(|c| c.first())
+            .and_then(|c| c.get("threadFlows"))
+            .and_then(Value::as_arr)
+            .and_then(|t| t.first())
+            .and_then(|t| t.get("locations"))
+            .and_then(Value::as_arr)
+        {
+            for l in locs {
+                let loc = l.get("location").ok_or("threadFlow entry without location")?;
+                let phys = loc
+                    .get("physicalLocation")
+                    .ok_or("chain frame without physicalLocation")?;
+                chain.push(parse_frame_obj(
+                    phys.get("artifactLocation")
+                        .and_then(|a| a.get("uri"))
+                        .and_then(Value::as_str),
+                    phys.get("region")
+                        .and_then(|r| r.get("startLine"))
+                        .and_then(Value::as_int),
+                    loc.get("message")
+                        .and_then(|m| m.get("text"))
+                        .and_then(Value::as_str),
+                )?);
+            }
+        }
+        findings.push(Finding { rule, file, line, message, chain });
     }
     Ok(Report { files_scanned, findings })
 }
@@ -260,12 +359,32 @@ mod tests {
                     file: "crates/x/src/lib.rs".to_string(),
                     line: 7,
                     message: "iterating `m` (HashMap/HashSet)".to_string(),
+                    chain: Vec::new(),
                 },
                 Finding {
                     rule: Rule::FloatEq,
                     file: "crates/x/src/lib.rs".to_string(),
                     line: 3,
                     message: "exact float comparison `==`".to_string(),
+                    chain: Vec::new(),
+                },
+                Finding {
+                    rule: Rule::SolverEffects,
+                    file: "crates/sdp/src/solver.rs".to_string(),
+                    line: 12,
+                    message: "solver-stack function reaches `reads-env`".to_string(),
+                    chain: vec![
+                        Frame {
+                            file: "crates/sdp/src/solver.rs".to_string(),
+                            line: 12,
+                            note: "`sdp::solve` calls `util::peek`".to_string(),
+                        },
+                        Frame {
+                            file: "crates/util/src/lib.rs".to_string(),
+                            line: 4,
+                            note: "`std::env::var` in `util::peek`".to_string(),
+                        },
+                    ],
                 },
             ],
         )
@@ -337,7 +456,28 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_rejected() {
-        assert!(parse_json_report("{\"schema\":\"snbc-audit/1\",\"files_scanned\":0,\"findings\":[]}").is_err());
+        assert!(parse_json_report("{\"schema\":\"snbc-audit/2\",\"files_scanned\":0,\"findings\":[]}").is_err());
         assert!(parse_sarif("{\"version\":\"2.0.0\",\"runs\":[]}").is_err());
+    }
+
+    #[test]
+    fn chains_survive_both_roundtrips() {
+        let r = sample();
+        let with_chain = &parse_json_report(&render_json_report(&r)).unwrap().findings[2];
+        assert_eq!(with_chain.chain.len(), 2);
+        let from_sarif = parse_sarif(&render_sarif(&r)).unwrap();
+        assert_eq!(from_sarif.findings[2].chain, r.findings[2].chain);
+        // codeFlows must be present for the chained finding.
+        let doc = parse(&render_sarif(&r)).unwrap();
+        let results = doc
+            .get("runs")
+            .and_then(Value::as_arr)
+            .and_then(|r| r.first())
+            .and_then(|r| r.get("results"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(results
+            .iter()
+            .any(|res| res.get("codeFlows").is_some()));
     }
 }

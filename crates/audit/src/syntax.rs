@@ -40,7 +40,8 @@ pub enum ScopeKind {
 #[derive(Debug)]
 pub struct Scope {
     pub kind: ScopeKind,
-    /// Item name (`mod foo` → "foo", `fn bar` → "bar"); "impl" for impls.
+    /// Item name (`mod foo` → "foo", `fn bar` → "bar"); impls and traits are
+    /// named after the target type (`impl Trait for Foo` → "Foo").
     pub name: String,
     pub parent: Option<u32>,
     /// Token index range `[start, end)` covered by the scope, header included.
@@ -233,9 +234,19 @@ impl Builder<'_> {
         attr_start: Option<usize>,
     ) -> usize {
         // Header: scan to the body `{` or a terminating `;` (declarations,
-        // trait fns without bodies). Fn signatures cannot contain braces.
+        // trait fns without bodies). Fn signatures cannot contain braces, but
+        // array types (`[f64; 3]`) put semicolons inside brackets — only a
+        // bracket-top-level `;` ends the header.
         let mut j = i + 1;
-        while j < hi && self.peek(j) != "{" && self.peek(j) != ";" {
+        let mut bracket = 0i32;
+        while j < hi {
+            match self.peek(j) {
+                "{" => break,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if bracket == 0 => break,
+                _ => {}
+            }
             j += 1;
         }
         if j >= hi || self.peek(j) == ";" {
@@ -263,7 +274,10 @@ impl Builder<'_> {
         };
         let name = match kw {
             "mod" | "fn" => self.peek(i + 1).to_string(),
-            other => other.to_string(),
+            // `impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`, `trait Bar`:
+            // name the scope after the *target* type so call-graph symbols
+            // read `solver::SdpSolver::solve`, not `solver::impl::solve`.
+            other => self.impl_target_name(i + 1, j).unwrap_or_else(|| other.to_string()),
         };
         let end = (close + 1).min(hi);
         self.scopes.push(Scope {
@@ -296,6 +310,39 @@ impl Builder<'_> {
             }
         }
         end
+    }
+
+    /// Target-type name of an `impl`/`trait` header in `[lo, hi)`: the first
+    /// identifier after a top-level `for` (trait impls), else the first
+    /// identifier outside the `<...>` generics block.
+    fn impl_target_name(&self, lo: usize, hi: usize) -> Option<String> {
+        let mut angle = 0i32;
+        let mut first: Option<&str> = None;
+        let mut after_for = false;
+        for j in lo..hi {
+            let t = self.tokens.get(j)?;
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "for" if angle == 0 => {
+                    after_for = true;
+                    first = None;
+                }
+                "where" if angle == 0 => break,
+                _ if angle == 0 && t.kind == crate::tokenizer::TokenKind::Ident => {
+                    if first.is_none() && t.text != "dyn" {
+                        first = Some(t.text.as_str());
+                        if after_for {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        first.map(|s| s.to_string())
     }
 
     /// Everything up to the close of the first entered `{...}`, or a `;` at
@@ -503,6 +550,21 @@ mod tests {
     }
 
     #[test]
+    fn impl_scopes_carry_target_names() {
+        let src = "impl Foo { fn m(&self) { a } }\n\
+                   impl<T: Clone> Wrapper<T> { fn n(&self) { b } }\n\
+                   impl std::fmt::Display for Rule { fn fmt(&self) { c } }\n\
+                   trait Solver { fn solve(&self) { d } }\n";
+        let (tokens, t) = tree(src);
+        for (ident, want) in [("a", "Foo"), ("b", "Wrapper"), ("c", "Rule"), ("d", "Solver")] {
+            let i = tokens.iter().position(|tk| tk.text == ident).unwrap();
+            let sid = t.scope_of[i] as usize;
+            let parent = t.scopes[sid].parent.unwrap() as usize;
+            assert_eq!(t.scopes[parent].name, want, "target of scope holding `{ident}`");
+        }
+    }
+
+    #[test]
     fn cfg_test_marks_whole_subtree() {
         let src = "fn lib() { a }\n#[cfg(test)]\nmod tests {\n  fn helper() { b }\n  #[test]\n  fn t() { c }\n}\nfn after() { d }\n";
         let (tokens, t) = tree(src);
@@ -533,6 +595,17 @@ mod tests {
         assert_eq!(scope_name_at(&tokens, &t, "inner"), "f");
         // Only root + one fn scope.
         assert_eq!(t.scopes.iter().filter(|s| s.kind == ScopeKind::Fn).count(), 1);
+    }
+
+    #[test]
+    fn array_type_semicolon_does_not_end_a_fn_header() {
+        // `[f64; 3]` puts a `;` inside the signature; the header scan must
+        // not mistake it for a body-less declaration.
+        let src = "fn f(scales: [f64; 3], out: &mut [f64; 3]) -> f64 { inner }\nfn g() { other }\n";
+        let (tokens, t) = tree(src);
+        assert_eq!(scope_name_at(&tokens, &t, "inner"), "f");
+        assert_eq!(scope_name_at(&tokens, &t, "other"), "g");
+        assert_eq!(t.scopes.iter().filter(|s| s.kind == ScopeKind::Fn).count(), 2);
     }
 
     #[test]

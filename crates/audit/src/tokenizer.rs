@@ -51,9 +51,13 @@ pub struct Suppression {
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub suppressions: Vec<Suppression>,
+    /// Lines carrying an `// audit:hot` marker: the next `fn` item is under
+    /// the transitive allocation-free contract (`hot-alloc` rule).
+    pub hot_markers: Vec<usize>,
 }
 
 const ALLOW_MARKER: &str = "audit:allow(";
+const HOT_MARKER: &str = "audit:hot";
 
 /// Tokenize Rust source. Never fails: unrecognized bytes are skipped, so the
 /// audit degrades gracefully on exotic code instead of crashing the gate.
@@ -76,9 +80,11 @@ pub fn tokenize(src: &str) -> Lexed {
                     i += 1;
                 }
                 scan_allow_marker(&src[start..i], line, &mut out.suppressions);
+                scan_hot_marker(&src[start..i], line, &mut out.hot_markers);
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let (end, endline) = skip_block_comment(src, i, line, &mut out.suppressions);
+                let (end, endline) =
+                    skip_block_comment(src, i, line, &mut out.suppressions, &mut out.hot_markers);
                 i = end;
                 line = endline;
             }
@@ -180,6 +186,7 @@ fn skip_block_comment(
     start: usize,
     mut line: usize,
     suppressions: &mut Vec<Suppression>,
+    hot_markers: &mut Vec<usize>,
 ) -> (usize, usize) {
     let bytes = src.as_bytes();
     let mut depth = 0usize;
@@ -198,6 +205,7 @@ fn skip_block_comment(
             i += 2;
             if depth == 0 {
                 scan_allow_marker(&src[comment_start..i], start_line, suppressions);
+                scan_hot_marker(&src[comment_start..i], start_line, hot_markers);
                 return (i, line);
             }
         } else {
@@ -382,6 +390,22 @@ fn scan_allow_marker(comment: &str, start_line: usize, out: &mut Vec<Suppression
     }
 }
 
+fn scan_hot_marker(comment: &str, start_line: usize, out: &mut Vec<usize>) {
+    for (off, text) in comment.lines().enumerate() {
+        if let Some(pos) = text.find(HOT_MARKER) {
+            // Word boundary on the right so `audit:hotfix` is not a marker.
+            let tail = &text[pos + HOT_MARKER.len()..];
+            let bounded = !tail
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            if bounded {
+                out.push(start_line + off);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +478,14 @@ mod tests {
                 Suppression { rule: "panicking".into(), line: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn hot_markers_extracted_with_lines() {
+        let src = "// audit:hot\nfn f() {}\n/* audit:hot */\nfn g() {}\n// audit:hotfix note\n";
+        let lexed = tokenize(src);
+        // The `audit:hotfix` comment is prose, not a marker.
+        assert_eq!(lexed.hot_markers, vec![1, 3]);
     }
 
     #[test]

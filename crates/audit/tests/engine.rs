@@ -213,6 +213,7 @@ fn baseline_catches_regressions_and_reports_improvements() {
         file: "fixture.rs".to_string(),
         line: 999,
         message: String::new(),
+        chain: Vec::new(),
     });
     let d = baseline::diff(&more, &b);
     assert_eq!(d.regressions.len(), 1);
@@ -227,6 +228,7 @@ fn baseline_catches_regressions_and_reports_improvements() {
         file: "other.rs".to_string(),
         line: 1,
         message: String::new(),
+        chain: Vec::new(),
     }];
     assert!(!baseline::diff(&fresh, &b).is_clean());
 

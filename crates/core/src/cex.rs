@@ -119,48 +119,29 @@ pub fn find_counterexample(
     // point is then picked by a serial restart-index scan with a strict `>`
     // comparison (ties break toward the lowest restart index), which keeps
     // the output bitwise identical at any thread count.
+    //
+    // The gradient polynomials and the box center are built once out here:
+    // `ascend` is allocation-free per step (`audit:hot` enforces that
+    // transitively).
     let restart_rng = |r: usize| {
         rand::rngs::StdRng::seed_from_u64(
             cfg.seed ^ (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         )
     };
+    let grads = v.gradient(n);
+    let center = set.box_center();
     let trace = cfg.telemetry.trace();
     let starts = snbc_par::par_map_collect(cfg.restarts, |r| {
         let mut rng = restart_rng(r);
         let mut x: Vec<f64> = if r == 0 {
-            set.box_center()
+            center.clone()
         } else {
             bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect()
         };
-        project(&mut x, set, &mut rng);
-        let mut step = cfg.step_size;
-        let mut fx = v.eval(&x);
-        let mut steps_taken: u64 = 0;
-        for _ in 0..cfg.steps {
-            let g = v.eval_gradient(&x);
-            let gnorm = g.iter().map(|a| a * a).sum::<f64>().sqrt();
-            if gnorm < 1e-12 {
-                break;
-            }
-            steps_taken += 1;
-            let mut cand: Vec<f64> = x
-                .iter()
-                .zip(&g)
-                .map(|(xi, gi)| xi + step * gi / gnorm)
-                .collect();
-            project(&mut cand, set, &mut rng);
-            let fc = v.eval(&cand);
-            if fc > fx {
-                x = cand;
-                fx = fc;
-                step = (step * 1.3).min(1.0);
-            } else {
-                step *= 0.5;
-                if step < 1e-9 {
-                    break;
-                }
-            }
-        }
+        let mut g = vec![0.0f64; n];
+        let mut cand = vec![0.0f64; n];
+        project(&mut x, set, &center);
+        let (fx, steps_taken) = ascend(v, &grads, set, &center, cfg, &mut x, &mut g, &mut cand);
         // Emitted from the worker that ran this restart, so the Chrome
         // export shows each ascent trajectory on its worker's track.
         trace.ascent(r as u64, steps_taken, fx);
@@ -247,19 +228,64 @@ pub fn find_counterexample(
     })
 }
 
+/// One projected-gradient ascent trajectory, in place: `x` enters as the
+/// start point and leaves as the best point found; `g`/`cand` are caller
+/// scratch (gradient buffer, candidate point). `grads` are the precomputed
+/// gradient polynomials of `v` (built once per search, not per step) and
+/// `center` the precomputed box center for the projection retreat. Returns
+/// the best violation value and the number of ascent steps taken.
+// audit:hot
+fn ascend(
+    v: &Polynomial,
+    grads: &[Polynomial],
+    set: &SemiAlgebraicSet,
+    center: &[f64],
+    cfg: &CexConfig,
+    x: &mut Vec<f64>,
+    g: &mut [f64],
+    cand: &mut Vec<f64>,
+) -> (f64, u64) {
+    let mut step = cfg.step_size;
+    let mut fx = v.eval(x);
+    let mut steps_taken: u64 = 0;
+    for _ in 0..cfg.steps {
+        Polynomial::eval_gradient_into(grads, x, g);
+        let gnorm = g.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if gnorm < 1e-12 {
+            break;
+        }
+        steps_taken += 1;
+        cand.clear();
+        cand.extend(x.iter().zip(g.iter()).map(|(xi, gi)| xi + step * gi / gnorm));
+        project(cand, set, center);
+        let fc = v.eval(cand);
+        if fc > fx {
+            std::mem::swap(x, cand);
+            fx = fc;
+            step = (step * 1.3).min(1.0);
+        } else {
+            step *= 0.5;
+            if step < 1e-9 {
+                break;
+            }
+        }
+    }
+    (fx, steps_taken)
+}
+
 /// Clamps to the bounding box; if the semialgebraic constraints still fail,
-/// retreats toward the box center (a cheap projection heuristic adequate for
-/// the box/ball sets of the benchmark suite).
-fn project(x: &mut [f64], set: &SemiAlgebraicSet, _rng: &mut impl Rng) {
+/// retreats toward the precomputed box `center` (a cheap projection heuristic
+/// adequate for the box/ball sets of the benchmark suite).
+// audit:hot
+fn project(x: &mut [f64], set: &SemiAlgebraicSet, center: &[f64]) {
     for (xi, &(lo, hi)) in x.iter_mut().zip(set.bounding_box()) {
         *xi = xi.clamp(lo, hi);
     }
     if set.contains(x) {
         return;
     }
-    let center = set.box_center();
     for _ in 0..40 {
-        for (xi, c) in x.iter_mut().zip(&center) {
+        for (xi, c) in x.iter_mut().zip(center) {
             *xi = 0.9 * *xi + 0.1 * c;
         }
         if set.contains(x) {

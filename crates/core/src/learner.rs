@@ -42,6 +42,43 @@ impl TrainingSets {
     }
 }
 
+/// Which sample set a chunk job draws from (scales index into the
+/// `(η₁, η₂, η₃)` weights by this discriminant).
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Domain,
+    Init,
+    Unsafe,
+}
+
+/// Deterministic index-ordered reduction of one epoch's per-job
+/// `(loss_sum, hinge_sum, gradient)` results into the per-kind loss sums,
+/// the hinge mass, and the reused gradient buffer `g` (zeroed here, not
+/// reallocated — this runs every epoch). Job order is fixed by the chunk
+/// grid, so the fold never depends on the thread count.
+// audit:hot
+fn reduce_epoch(
+    jobs: &[(Kind, usize, usize)],
+    results: &[(f64, f64, Vec<f64>)],
+    scales: [f64; 3],
+    kind_sums: &mut [f64; 3],
+    g: &mut [f64],
+) -> f64 {
+    let mut hinge = 0.0f64;
+    *kind_sums = [0.0; 3];
+    g.fill(0.0);
+    for (ji, (loss_sum, hinge_sum, grad)) in results.iter().enumerate() {
+        let (kind, _, _) = jobs[ji];
+        kind_sums[kind as usize] += loss_sum; // audit:allow(unordered-reduce) — serial index-ascending fold
+        hinge += hinge_sum; // audit:allow(unordered-reduce) — same fold, fixed order
+        let scale = scales[kind as usize];
+        for (acc, gv) in g.iter_mut().zip(grad) {
+            *acc += scale * gv; // audit:allow(unordered-reduce) — same fold, fixed order
+        }
+    }
+    hinge
+}
+
 /// Hyper-parameters of the Learner (loss (10)).
 #[derive(Debug, Clone)]
 pub struct LearnerConfig {
@@ -232,12 +269,6 @@ impl Learner {
         // reduced serially in job order, so every epoch is bitwise identical
         // at any thread count.
         const CHUNK: usize = 32;
-        #[derive(Clone, Copy, PartialEq)]
-        enum Kind {
-            Domain,
-            Init,
-            Unsafe,
-        }
         let mut jobs: Vec<(Kind, usize, usize)> = Vec::new();
         for (kind, len) in [
             (Kind::Domain, sets.domain.len()),
@@ -266,6 +297,15 @@ impl Learner {
         let mut last_loss = f64::INFINITY;
         let mut last_grad_norm = f64::NAN;
         let trace = self.cfg.telemetry.trace().clone();
+        // Epoch-loop buffers, allocated once: `reduce_epoch` is `audit:hot`
+        // and must stay allocation-free per epoch.
+        let scales = [
+            scale_of(Kind::Domain),
+            scale_of(Kind::Init),
+            scale_of(Kind::Unsafe),
+        ];
+        let mut kind_sums = [0.0f64; 3];
+        let mut g = vec![0.0f64; np];
         for epoch in 0..self.cfg.epochs {
             let params_ref = &params;
             let run_job = |ji: usize| -> (f64, f64, Vec<f64>) {
@@ -347,24 +387,10 @@ impl Learner {
                 (tape.value(loss), hinge, g)
             };
             let results = snbc_par::par_map_collect(jobs.len(), run_job);
-
-            // Deterministic index-ordered reduction: job order is fixed by
-            // the chunk grid, so these folds never depend on thread count.
-            let mut hinge = 0.0f64;
-            let mut kind_sums = [0.0f64; 3];
-            let mut g = vec![0.0f64; np];
-            for (ji, (loss_sum, hinge_sum, grad)) in results.iter().enumerate() {
-                let (kind, _, _) = jobs[ji];
-                kind_sums[kind as usize] += loss_sum; // audit:allow(unordered-reduce) — serial index-ascending fold
-                hinge += hinge_sum; // audit:allow(unordered-reduce) — same fold, fixed order
-                let scale = scale_of(kind);
-                for (acc, gv) in g.iter_mut().zip(grad) {
-                    *acc += scale * gv; // audit:allow(unordered-reduce) — same fold, fixed order
-                }
-            }
-            let mut loss = kind_sums[Kind::Domain as usize] * scale_of(Kind::Domain)
-                + kind_sums[Kind::Init as usize] * scale_of(Kind::Init)
-                + kind_sums[Kind::Unsafe as usize] * scale_of(Kind::Unsafe);
+            let hinge = reduce_epoch(&jobs, &results, scales, &mut kind_sums, &mut g);
+            let mut loss = kind_sums[Kind::Domain as usize] * scales[Kind::Domain as usize]
+                + kind_sums[Kind::Init as usize] * scales[Kind::Init as usize]
+                + kind_sums[Kind::Unsafe as usize] * scales[Kind::Unsafe as usize];
             if self.cfg.weight_decay > 0.0 {
                 let mut reg = 0.0f64;
                 for (gi, &p) in g.iter_mut().zip(params.iter()) {

@@ -192,6 +192,22 @@ impl Polynomial {
         (0..x.len()).map(|i| self.partial(i).eval(x)).collect()
     }
 
+    /// Evaluates a precomputed gradient (from [`Self::gradient`]) at `x` into
+    /// `out` — the allocation-free form for hot ascent loops.
+    /// [`Self::eval_gradient`] rebuilds every partial derivative on each call;
+    /// callers iterating from many starts should build the gradient once and
+    /// evaluate it through this instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `grads`.
+    pub fn eval_gradient_into(grads: &[Polynomial], x: &[f64], out: &mut [f64]) {
+        assert!(out.len() >= grads.len(), "gradient buffer too short");
+        for (o, g) in out.iter_mut().zip(grads) {
+            *o = g.eval(x);
+        }
+    }
+
     /// Multiplies by a scalar, returning a new polynomial.
     pub fn scale(&self, s: f64) -> Polynomial {
         // Exact zero short-circuit; any other scalar keeps every term.
@@ -409,6 +425,16 @@ mod tests {
 
     fn p(s: &str) -> Polynomial {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn eval_gradient_into_matches_eval_gradient() {
+        let q = p("x0^2*x1 + 3*x1^2 - x0");
+        let x = [1.5, -2.0];
+        let grads = q.gradient(x.len());
+        let mut buf = [0.0f64; 2];
+        Polynomial::eval_gradient_into(&grads, &x, &mut buf);
+        assert_eq!(buf.to_vec(), q.eval_gradient(&x));
     }
 
     #[test]

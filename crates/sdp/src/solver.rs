@@ -109,6 +109,77 @@ enum Scaling {
     },
 }
 
+/// Serial per-iteration precompute for one diagonal block of the Schur
+/// assembly: `d = x/z` plus the index-grouped coalesced coefficients (see
+/// `build_schur` for the complexity argument).
+struct DiagPre {
+    d: Vec<f64>,
+    per_index: Vec<Vec<(usize, f64)>>,
+    per_constraint: Vec<Vec<(usize, f64)>>,
+}
+
+/// Fills row `k` of the Schur complement (columns `k..m`). For dense blocks,
+/// a row needs only `U_k = Z⁻¹·(A_k·X)` — a single n×n product alive at once
+/// (the full per-block cache would be O(m·n²) memory — hundreds of MB for
+/// the large joint programs) — held in per-worker `scratch` so the
+/// interior-point iterations do not allocate per row.
+// audit:hot
+fn assemble_schur_row(
+    problem: &SdpProblem,
+    scalings: &[Scaling],
+    diag: &[Option<DiagPre>],
+    m: usize,
+    scratch: &mut [Option<(Matrix, Matrix)>],
+    k: usize,
+    row: &mut [f64],
+) {
+    let entries_k = problem.constraint_entries(k);
+    for (j, scaling) in scalings.iter().enumerate() {
+        match scaling {
+            Scaling::Dense { zinv, x, .. } => {
+                if entries_k.iter().all(|e| e.block != j) {
+                    continue;
+                }
+                let n = zinv.nrows();
+                // Lazy per-worker scratch: two n×n buffers per dense block,
+                // allocated on the block's first row and reused for every
+                // later row this worker owns. audit:allow(hot-alloc)
+                let (ax, uk) = scratch[j]
+                    .get_or_insert_with(|| (Matrix::zeros(n, n), Matrix::zeros(n, n)));
+                sparse_times_dense_into(entries_k, j, x, ax);
+                zinv.matmul_into(ax, uk);
+                for l in k..m {
+                    let entries_l = problem.constraint_entries(l);
+                    let mut acc = 0.0;
+                    for e in entries_l.iter().filter(|e| e.block == j) {
+                        // tr(A_l · U_k) with A_l symmetric-sparse.
+                        if e.row == e.col {
+                            acc += e.value * uk[(e.row, e.col)];
+                        } else {
+                            acc += e.value * (uk[(e.row, e.col)] + uk[(e.col, e.row)]);
+                        }
+                    }
+                    row[l] += acc;
+                }
+            }
+            Scaling::Diag { .. } => {
+                // M_kl += Σᵢ a_k[i]·a_l[i]·xᵢ/zᵢ, i ascending.
+                // Populated by `build_schur` for every Diag block by
+                // construction. audit:allow(panicking)
+                let pre = diag[j].as_ref().expect("diag precompute");
+                for &(i, aki) in &pre.per_constraint[k] {
+                    let di = pre.d[i];
+                    for &(l, ali) in &pre.per_index[i] {
+                        if l >= k {
+                            row[l] += aki * ali * di;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl SdpSolver {
     /// Solves the SDP.
     ///
@@ -463,11 +534,6 @@ impl SdpSolver {
         // in `i`). This keeps the assembly O(Σᵢ cᵢ²) instead of O(m²·nnz),
         // which matters when a scalar free variable (e.g. a barrier
         // coefficient) appears in hundreds of constraints.
-        struct DiagPre {
-            d: Vec<f64>,
-            per_index: Vec<Vec<(usize, f64)>>,
-            per_constraint: Vec<Vec<(usize, f64)>>,
-        }
         let mut diag: Vec<Option<DiagPre>> = Vec::with_capacity(scalings.len());
         for (j, scaling) in scalings.iter().enumerate() {
             let Scaling::Diag { x, z } = scaling else {
@@ -493,62 +559,15 @@ impl SdpSolver {
             diag.push(Some(DiagPre { d, per_index, per_constraint }));
         }
         // Row-parallel assembly: each worker owns a disjoint run of rows of
-        // the row-major `M`. For dense blocks, a row needs only
-        // `U_k = Z⁻¹·(A_k·X)` — a single n×n product alive at once (the full
-        // per-block cache would be O(m·n²) memory — hundreds of MB for the
-        // large joint programs) — held in per-worker scratch so the
-        // interior-point iterations do not allocate per row. Per-cell
-        // accumulation runs blocks-ascending then indices-ascending, exactly
-        // the serial order: the assembled matrix is bitwise identical at any
-        // thread count.
+        // the row-major `M`; `assemble_schur_row` fills one row from the
+        // per-worker scratch. Per-cell accumulation runs blocks-ascending
+        // then indices-ascending, exactly the serial order: the assembled
+        // matrix is bitwise identical at any thread count.
         snbc_par::par_for_chunks_scratch(
             big_m.as_mut_slice(),
             m,
             || vec![None::<(Matrix, Matrix)>; scalings.len()],
-            |scratch, k, row| {
-                let entries_k = problem.constraint_entries(k);
-                for (j, scaling) in scalings.iter().enumerate() {
-                    match scaling {
-                        Scaling::Dense { zinv, x, .. } => {
-                            if entries_k.iter().all(|e| e.block != j) {
-                                continue;
-                            }
-                            let n = zinv.nrows();
-                            let (ax, uk) = scratch[j]
-                                .get_or_insert_with(|| (Matrix::zeros(n, n), Matrix::zeros(n, n)));
-                            sparse_times_dense_into(entries_k, j, x, ax);
-                            zinv.matmul_into(ax, uk);
-                            for l in k..m {
-                                let entries_l = problem.constraint_entries(l);
-                                let mut acc = 0.0;
-                                for e in entries_l.iter().filter(|e| e.block == j) {
-                                    // tr(A_l · U_k) with A_l symmetric-sparse.
-                                    if e.row == e.col {
-                                        acc += e.value * uk[(e.row, e.col)];
-                                    } else {
-                                        acc += e.value * (uk[(e.row, e.col)] + uk[(e.col, e.row)]);
-                                    }
-                                }
-                                row[l] += acc;
-                            }
-                        }
-                        Scaling::Diag { .. } => {
-                            // M_kl += Σᵢ a_k[i]·a_l[i]·xᵢ/zᵢ, i ascending.
-                            // Populated above for every Diag block by construction.
-                            // audit:allow(panicking)
-                            let pre = diag[j].as_ref().expect("diag precompute");
-                            for &(i, aki) in &pre.per_constraint[k] {
-                                let di = pre.d[i];
-                                for &(l, ali) in &pre.per_index[i] {
-                                    if l >= k {
-                                        row[l] += aki * ali * di;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            },
+            |scratch, k, row| assemble_schur_row(problem, scalings, &diag, m, scratch, k, row),
         );
         // Symmetrize (HKM's Schur matrix is only approximately symmetric) and
         // regularize.

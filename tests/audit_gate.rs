@@ -143,6 +143,29 @@ fn machine_formats_are_deterministic_across_runs_and_threads() {
 }
 
 #[test]
+fn graph_dumps_are_deterministic_across_runs_and_threads() {
+    // The call-graph export must be canonical: byte-identical between
+    // identical runs and invariant under the worker count.
+    let json = run_audit_stdout(&["graph", "--format", "json"], None);
+    let json2 = run_audit_stdout(&["graph", "--format", "json"], None);
+    assert_eq!(json, json2, "graph json differs between identical runs");
+    let json_t1 = run_audit_stdout(&["graph", "--format", "json"], Some("1"));
+    assert_eq!(json, json_t1, "graph json differs under SNBC_THREADS=1");
+    assert_eq!(json.first(), Some(&b'{'), "graph json is not a bare document");
+    let text = String::from_utf8(json).unwrap();
+    assert!(
+        text.contains("snbc-audit-graph/1"),
+        "graph json must carry its schema tag"
+    );
+
+    let dot = run_audit_stdout(&["graph", "--format", "dot"], None);
+    let dot_t1 = run_audit_stdout(&["graph", "--format", "dot"], Some("1"));
+    assert_eq!(dot, dot_t1, "graph dot differs under SNBC_THREADS=1");
+    let dot = String::from_utf8(dot).unwrap();
+    assert!(dot.starts_with("digraph"), "dot output: {dot}");
+}
+
+#[test]
 fn gate_passes_with_an_absent_baseline_when_tree_is_clean() {
     // The committed tree carries zero findings, so pointing --baseline at a
     // non-existent file (every finding a regression) must still exit 0.
@@ -171,6 +194,9 @@ fn explain_subcommand_documents_every_rule() {
         "swallowed-result",
         "env-read",
         "unordered-reduce",
+        "solver-effects",
+        "hot-alloc",
+        "par-callee",
         "arch",
     ] {
         let out = run_audit(&["explain", rule]);
