@@ -55,11 +55,25 @@ echo "==> snbc-bench check (run-report regression gate, strict then loose)"
 SNBC_THREADS=1 cargo run -q --release -p snbc-bench --bin snbc-bench -- check
 SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check
 
+echo "==> snbc-bench check --suite interval (strict leg + Perfetto trace artifact)"
+# The interval suite exercises the parallel branch-and-bound wave engine on
+# top of the quickstart synthesis; strict compare pins its deterministic box
+# counts. The loose 4-thread leg keeps its trace as a CI artifact
+# (target/ci-artifacts/) — the worked example in docs/PERFORMANCE.md.
+mkdir -p target/ci-artifacts
+SNBC_THREADS=1 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite interval
+SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite interval \
+  --trace target/ci-artifacts/interval-trace.json
+grep -q '"schema":"snbc-trace/1"' target/ci-artifacts/interval-trace.json
+
 echo "==> snbc synth --trace smoke (Perfetto export)"
 trace_tmp="$(mktemp -d)"
 target/release/snbc example > "$trace_tmp/plant.sys"
 target/release/snbc synth "$trace_tmp/plant.sys" --trace "$trace_tmp/trace.json" > /dev/null
 grep -q '"schema":"snbc-trace/1"' "$trace_tmp/trace.json"
 rm -rf "$trace_tmp"
+
+echo "==> docs cross-link check (tuning guide must stay discoverable)"
+grep -q 'docs/PERFORMANCE.md' README.md
 
 echo "CI OK"

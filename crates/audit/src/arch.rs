@@ -30,7 +30,12 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-par",
     ];
     const SOS: &[&str] = &["snbc-linalg", "snbc-poly", "snbc-lp", "snbc-sdp"];
-    const INTERVAL: &[&str] = &["snbc-linalg", "snbc-poly"];
+    const INTERVAL: &[&str] = &[
+        "snbc-linalg",
+        "snbc-poly",
+        "snbc-par",
+        "snbc-trace",
+    ];
     const NN: &[&str] = &[
         "snbc-linalg",
         "snbc-poly",

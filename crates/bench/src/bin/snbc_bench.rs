@@ -1,20 +1,38 @@
 //! `snbc-bench` — the benchmark regression gate.
 //!
 //! ```text
-//! snbc-bench check [--baseline-dir bench-out] [--wall-factor 10] [--trace <json-file>]
+//! snbc-bench check  [--suite quickstart|interval] [--baseline-dir bench-out]
+//!                   [--wall-factor 10] [--trace <json-file>]
+//! snbc-bench record [--suite quickstart|interval] [--output <json-file>]
 //! ```
 //!
-//! `check` re-runs the quickstart synthesis (benchmark C3, default
-//! configuration — the exact run that produced the committed baselines, see
-//! `EXPERIMENTS.md`) in-process with a recording telemetry sink, then
-//! compares the fresh `snbc-run-report/1` document against the committed
-//! baseline with [`snbc_bench::check::check_reports`]:
+//! `check` re-runs a benchmark suite in-process with a recording telemetry
+//! sink, then compares the fresh `snbc-run-report/1` document against the
+//! committed baseline with [`snbc_bench::check::check_reports`]:
 //!
-//! * under `SNBC_THREADS=1` the baseline is `BENCH_quickstart_t1.json` and
+//! * under `SNBC_THREADS=1` the baseline is `BENCH_<suite>_t1.json` and
 //!   the comparison is **strict** — identical span tree and counters, since
 //!   the single-thread pipeline is deterministic;
-//! * otherwise the baseline is `BENCH_quickstart.json` and only the outcome
+//! * otherwise the baseline is `BENCH_<suite>.json` and only the outcome
 //!   and a loose wall-clock factor are gated.
+//!
+//! `record` runs the same suite and *writes* the fresh report — the
+//! canonical way to regenerate the committed baselines after an intentional
+//! perf or pipeline change (see `EXPERIMENTS.md`). Without `--output` the
+//! report goes to `bench-out/BENCH_<suite>.json`, or `..._t1.json` when the
+//! run resolves to one worker thread.
+//!
+//! Suites:
+//!
+//! * `quickstart` (default) — the quickstart synthesis (benchmark C3,
+//!   default configuration — the exact run that produced the committed
+//!   baselines, see `EXPERIMENTS.md`).
+//! * `interval` — the quickstart synthesis **plus** the independent
+//!   δ-complete interval re-check of the certificate
+//!   ([`snbc::recheck_with_intervals_recorded`]), exercising the parallel
+//!   branch-and-bound wave engine; the re-check must prove all three
+//!   Theorem 1 conditions, and its `boxes` counters are part of the strict
+//!   baseline.
 //!
 //! `--trace` additionally attaches an `snbc-trace` sink and writes the
 //! Chrome trace-event JSON of the gate run (handy for inspecting what the
@@ -24,9 +42,10 @@
 
 use std::process::ExitCode;
 
-use snbc::{Snbc, SnbcConfig};
+use snbc::{recheck_with_intervals_recorded, Snbc, SnbcConfig};
 use snbc_bench::check::{check_reports, render_outcome, report_threads, DEFAULT_WALL_FACTOR};
 use snbc_dynamics::benchmarks;
+use snbc_interval::BranchAndBound;
 use snbc_nn::{train_controller, ControllerTraining};
 use snbc_telemetry::Telemetry;
 
@@ -42,15 +61,29 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: snbc-bench check [--suite quickstart|interval] \
+                     [--baseline-dir <dir>] [--wall-factor <f>] [--trace <json>]\n   \
+                     or: snbc-bench record [--suite quickstart|interval] [--output <json>]";
+
+fn parse_suite(name: &str) -> Result<String, String> {
+    if name == "quickstart" || name == "interval" {
+        Ok(name.to_string())
+    } else {
+        Err(format!("unknown suite `{name}` (expected quickstart or interval)"))
+    }
+}
+
 fn run(args: &[String]) -> Result<bool, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {
+            let mut suite = "quickstart".to_string();
             let mut baseline_dir = "bench-out".to_string();
             let mut wall_factor = DEFAULT_WALL_FACTOR;
             let mut trace_out: Option<String> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--suite" => suite = parse_suite(it.next().ok_or("--suite needs a name")?)?,
                     "--baseline-dir" => {
                         baseline_dir = it.next().ok_or("--baseline-dir needs a path")?.clone()
                     }
@@ -67,21 +100,110 @@ fn run(args: &[String]) -> Result<bool, String> {
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            check(&baseline_dir, wall_factor, trace_out.as_deref())
+            check(&suite, &baseline_dir, wall_factor, trace_out.as_deref())
         }
-        _ => Err(
-            "usage: snbc-bench check [--baseline-dir <dir>] [--wall-factor <f>] [--trace <json>]"
-                .into(),
-        ),
+        Some("record") => {
+            let mut suite = "quickstart".to_string();
+            let mut output: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--suite" => suite = parse_suite(it.next().ok_or("--suite needs a name")?)?,
+                    "--output" => output = Some(it.next().ok_or("--output needs a path")?.clone()),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            record(&suite, output.as_deref())
+        }
+        _ => Err(USAGE.into()),
     }
 }
 
-fn check(baseline_dir: &str, wall_factor: f64, trace_out: Option<&str>) -> Result<bool, String> {
+/// Runs the given suite and returns its recording telemetry sink plus a
+/// success flag (`false` when the synthesis or, for the `interval` suite,
+/// the δ-complete re-check failed). The sink is created *after* controller
+/// training, matching `examples/quickstart.rs`, so the report's wall clock
+/// covers the synthesis pipeline only.
+fn run_suite(suite: &str, with_trace: bool) -> (Telemetry, bool) {
+    // Reproduce the exact quickstart run (examples/quickstart.rs) in-process.
+    let bench = benchmarks::benchmark(3);
+    let controller = train_controller(
+        bench.system.domain().bounding_box(),
+        bench.target_law,
+        &ControllerTraining::default(),
+    );
+    let mut telemetry = Telemetry::recording();
+    if with_trace {
+        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
+    }
+    let result = Snbc::new(SnbcConfig::default())
+        .with_telemetry(telemetry.clone())
+        .synthesize(&bench, &controller);
+    let res = match &result {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("[snbc-bench] fresh {suite} run FAILED: {e}");
+            return (telemetry, false);
+        }
+    };
+    // The interval suite additionally re-proves the certificate with the
+    // δ-complete branch-and-bound — the parallel verification tail this
+    // gate exists to keep fast. Its spans/counters land in the same report.
+    if suite == "interval" {
+        let ok = recheck_with_intervals_recorded(
+            &res.barrier,
+            &res.lambda,
+            &bench.system,
+            &res.inclusion,
+            &BranchAndBound::default(),
+            &telemetry,
+        );
+        if !ok {
+            eprintln!("[snbc-bench] interval re-check FAILED to prove the certificate");
+            return (telemetry, false);
+        }
+        // The quickstart certificate holds with wide margins, so the
+        // re-check above discharges in a handful of boxes and never reaches
+        // the wave engine's parallel regime. This squared-circle enclosure
+        // — maximal interval dependency, tens of thousands of boxes — keeps
+        // the parallel branch-and-bound itself under the regression gate:
+        // its deterministic `boxes` count is part of the strict baseline,
+        // and its `bb-boxes` spans show the per-worker fan-out in `--trace`
+        // output (the worked example in docs/PERFORMANCE.md).
+        let stress: snbc_poly::Polynomial =
+            "(x0^2 + x1^2 - 1)^2 + 0.0001".parse().expect("fixed stress polynomial");
+        let dom = vec![
+            snbc_interval::Interval::new(-1.0, 1.0),
+            snbc_interval::Interval::new(-1.0, 1.0),
+        ];
+        let _s = telemetry.span("interval-stress");
+        let bb = BranchAndBound {
+            tightening: snbc_interval::RangeTightening::Bernstein,
+            ..Default::default()
+        };
+        let rep = bb.check_at_least_traced(&stress, &dom, &[], 0.0, telemetry.trace());
+        telemetry.add("boxes", rep.boxes_processed as u64);
+        telemetry.add("max_depth", rep.max_depth as u64);
+        let holds = rep.verdict == snbc_interval::Verdict::Holds;
+        telemetry.flag("holds", holds);
+        if !holds {
+            eprintln!("[snbc-bench] interval stress check FAILED: {:?}", rep.verdict);
+            return (telemetry, false);
+        }
+    }
+    (telemetry, true)
+}
+
+fn check(
+    suite: &str,
+    baseline_dir: &str,
+    wall_factor: f64,
+    trace_out: Option<&str>,
+) -> Result<bool, String> {
     let threads = snbc_par::threads();
     let baseline_name = if threads == 1 {
-        "BENCH_quickstart_t1.json"
+        format!("BENCH_{suite}_t1.json")
     } else {
-        "BENCH_quickstart.json"
+        format!("BENCH_{suite}.json")
     };
     let baseline_path = format!("{baseline_dir}/{baseline_name}");
     let text = std::fs::read_to_string(&baseline_path)
@@ -93,33 +215,44 @@ fn check(baseline_dir: &str, wall_factor: f64, trace_out: Option<&str>) -> Resul
         report_threads(&baseline).map_or("?".to_string(), |t| t.to_string()),
     );
 
-    // Reproduce the exact quickstart run (examples/quickstart.rs) in-process.
-    let bench = benchmarks::benchmark(3);
-    let controller = train_controller(
-        bench.system.domain().bounding_box(),
-        bench.target_law,
-        &ControllerTraining::default(),
-    );
-    let mut telemetry = Telemetry::recording();
-    if trace_out.is_some() {
-        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
-    }
-    let result = Snbc::new(SnbcConfig::default())
-        .with_telemetry(telemetry.clone())
-        .synthesize(&bench, &controller);
-    if let Err(e) = &result {
-        eprintln!("[snbc-bench] fresh quickstart run FAILED: {e}");
-    }
+    let (telemetry, ran_ok) = run_suite(suite, trace_out.is_some());
     if let (Some(tp), Some(dump)) = (trace_out, telemetry.trace().dump()) {
         std::fs::write(tp, dump.to_json_string())
             .map_err(|e| format!("cannot write {tp}: {e}"))?;
         eprintln!("[snbc-bench] trace ({} events) -> {tp}", dump.event_count());
+        // The merged self-time tree — the first stop of the tuning workflow
+        // in docs/PERFORMANCE.md — so a gate run doubles as a profile.
+        eprintln!("{}", dump.profile_text());
     }
     let fresh = telemetry
         .report()
         .ok_or("fresh run produced no telemetry report")?;
 
     let outcome = check_reports(&baseline, &fresh, wall_factor);
-    print!("{}", render_outcome("quickstart", &outcome));
-    Ok(outcome.passed() && result.is_ok())
+    print!("{}", render_outcome(suite, &outcome));
+    Ok(outcome.passed() && ran_ok)
+}
+
+fn record(suite: &str, output: Option<&str>) -> Result<bool, String> {
+    let threads = snbc_par::threads();
+    let default_name = if threads == 1 {
+        format!("bench-out/BENCH_{suite}_t1.json")
+    } else {
+        format!("bench-out/BENCH_{suite}.json")
+    };
+    let path = output.unwrap_or(&default_name);
+    let (telemetry, ran_ok) = run_suite(suite, false);
+    if !ran_ok {
+        return Ok(false);
+    }
+    let report = telemetry
+        .report()
+        .ok_or("run produced no telemetry report")?;
+    std::fs::write(path, report.to_json_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "[snbc-bench] recorded {suite} baseline (threads={threads}, wall {:.3}s) -> {path}",
+        report.root.elapsed_s
+    );
+    Ok(true)
 }

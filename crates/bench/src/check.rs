@@ -297,7 +297,12 @@ mod tests {
         // The committed quickstart baselines must stay parseable and must
         // pass the gate against themselves (identity is the cheapest sanity
         // property a regression gate can have).
-        for name in ["BENCH_quickstart.json", "BENCH_quickstart_t1.json"] {
+        for name in [
+            "BENCH_quickstart.json",
+            "BENCH_quickstart_t1.json",
+            "BENCH_interval.json",
+            "BENCH_interval_t1.json",
+        ] {
             let path = format!("{}/../../bench-out/{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
                 panic!("cannot read committed baseline {path}: {e}")

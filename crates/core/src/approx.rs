@@ -88,7 +88,7 @@ pub struct PolynomialInclusion {
 /// # Ok::<(), snbc::SnbcError>(())
 /// ```
 pub fn approximate_controller(
-    controller: &dyn Fn(&[f64]) -> f64,
+    controller: &(dyn Fn(&[f64]) -> f64 + Sync),
     lipschitz: f64,
     domain: &[(f64, f64)],
     opts: &ApproxOptions,
@@ -108,21 +108,50 @@ pub fn approximate_controller(
 
     // Basis and LP: variables z = (h ∈ ℝᵛ, t); constraints
     //   φ(yᵢ)ᵀh − t ≤ k(yᵢ) and −φ(yᵢ)ᵀh − t ≤ −k(yᵢ).
+    //
+    // Mesh points are independent, so the expensive part — the controller
+    // forward passes and monomial evaluations — runs as fixed chunks through
+    // `par_map_collect`; the G/rhs rows are then assembled serially in chunk
+    // order, so every matrix entry lands exactly where the serial loop put
+    // it. Below MIN_PARALLEL_MESH points a single chunk keeps the whole
+    // thing inline (one worker ⇒ snbc-par never spawns).
     let basis = monomial_basis(n, opts.degree);
     let v = basis.len();
+    let chunk = if m < MIN_PARALLEL_MESH { m.max(1) } else { MESH_CHUNK };
+    let trace = opts.telemetry.trace();
+    let points_ref = &points;
+    let basis_ref = &basis;
+    let chunks: Vec<(Vec<f64>, Vec<f64>)> =
+        snbc_par::par_map_collect(m.div_ceil(chunk).max(1), |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(m);
+            let span = trace.begin_span("mesh-chunk", Some(c as u64));
+            let mut ks = Vec::with_capacity(hi - lo);
+            let mut phis = Vec::with_capacity((hi - lo) * v);
+            for y in &points_ref[lo..hi] {
+                ks.push(controller(y));
+                for mono in basis_ref {
+                    phis.push(mono.eval(y));
+                }
+            }
+            trace.end_span("mesh-chunk", span);
+            (ks, phis)
+        });
     let mut g = Matrix::zeros(2 * m, v + 1);
     let mut rhs = vec![0.0; 2 * m];
-    for (i, y) in points.iter().enumerate() {
-        let k = controller(y);
-        for (j, mono) in basis.iter().enumerate() {
-            let phi = mono.eval(y);
-            g[(2 * i, j)] = phi;
-            g[(2 * i + 1, j)] = -phi;
+    for (c, (ks, phis)) in chunks.iter().enumerate() {
+        for (r, &k) in ks.iter().enumerate() {
+            let i = c * chunk + r;
+            for j in 0..v {
+                let phi = phis[r * v + j];
+                g[(2 * i, j)] = phi;
+                g[(2 * i + 1, j)] = -phi;
+            }
+            g[(2 * i, v)] = -1.0;
+            g[(2 * i + 1, v)] = -1.0;
+            rhs[2 * i] = k;
+            rhs[2 * i + 1] = -k;
         }
-        g[(2 * i, v)] = -1.0;
-        g[(2 * i + 1, v)] = -1.0;
-        rhs[2 * i] = k;
-        rhs[2 * i + 1] = -k;
     }
     let mut c = vec![0.0; v + 1];
     c[v] = 1.0; // min t
@@ -148,6 +177,16 @@ pub fn approximate_controller(
     record_inclusion(&opts.telemetry, &inc);
     Ok(inc)
 }
+
+/// Mesh points per parallel evaluation chunk. The chunk grid is a pure
+/// function of the mesh size, so the assembled LP is bitwise identical at
+/// any thread count.
+const MESH_CHUNK: usize = 64;
+
+/// Meshes smaller than this are evaluated as a single inline chunk: the
+/// spawn cost dwarfs the per-point work (see docs/PERFORMANCE.md for the
+/// measured crossover on the quickstart problem).
+const MIN_PARALLEL_MESH: usize = 256;
 
 /// Emits the Theorem 2 quantities of a finished inclusion on the current span.
 fn record_inclusion(t: &snbc_telemetry::Telemetry, inc: &PolynomialInclusion) {
@@ -350,11 +389,13 @@ pub fn approximate_mlp(
 ) -> Result<PolynomialInclusion, SnbcError> {
     // This wrapper owns the "approx" span so σ* is reported *after* the
     // branch-and-bound tightening below; the inner call runs with its own
-    // telemetry off (the LP still reports into the shared recorder).
+    // telemetry off (the LP still reports into the shared recorder). The
+    // trace sink is still forwarded so the inner mesh evaluation emits its
+    // per-chunk `mesh-chunk` worker spans.
     let telemetry = opts.telemetry.clone();
     let _span = telemetry.span("approx");
     let mut inner = opts.clone();
-    inner.telemetry = snbc_telemetry::Telemetry::off();
+    inner.telemetry = snbc_telemetry::Telemetry::off().with_trace(telemetry.trace().clone());
     if telemetry.is_recording() && !inner.lp.telemetry.is_recording() {
         inner.lp.telemetry = telemetry.clone();
     }
@@ -371,14 +412,27 @@ pub fn approximate_mlp(
     // each bound-tightening split costs more.
     let n = domain.len();
     let probes = snbc_dynamics::sample_box_halton(domain, 4000);
-    let mut probed: f64 = 0.0;
-    for p in &probes {
-        probed = probed.max((mlp.forward(p) - base.h.eval(p)).abs());
-    }
+    // max is exact under reordering, so a fixed-grid map-reduce keeps the
+    // probed seed bitwise identical at any thread count.
+    let probes_ref = &probes;
+    let h_ref = &base.h;
+    let probed = snbc_par::par_map_reduce(
+        probes.len(),
+        512,
+        |r| {
+            let mut worst: f64 = 0.0;
+            for p in &probes_ref[r] {
+                worst = worst.max((mlp.forward(p) - h_ref.eval(p)).abs());
+            }
+            worst
+        },
+        f64::max,
+    )
+    .unwrap_or(0.0);
     let budget = 60_000usize.saturating_mul(1 + n / 4);
     let mut sigma = (probed * 1.2 + 1e-4).max(base.sigma_tilde);
     while sigma < base.sigma_star {
-        if certify_inclusion_error(mlp, &base.h, domain, sigma, budget) {
+        if certify_inclusion_error(mlp, &base.h, domain, sigma, budget, telemetry.trace()) {
             base.sigma_star = sigma;
             break;
         }
@@ -398,65 +452,53 @@ pub fn approximate_mlp(
 ///   the chord slope, giving `k(x) ∈ aᵀx + b + [e_lo, e_hi]` with an exact
 ///   affine part — the envelope collapses for near-linear controllers and is
 ///   what keeps 9–12-dimensional certification tractable.
+///
+/// Box evaluations run through the deterministic parallel wave engine
+/// ([`snbc_interval::wave_search`]); when `trace` records, per-chunk
+/// `bb-boxes` spans show the fan-out per worker in the Perfetto timeline.
 fn certify_inclusion_error(
     mlp: &snbc_nn::Mlp,
     h: &Polynomial,
     domain: &[(f64, f64)],
     sigma: f64,
     max_boxes: usize,
+    trace: &snbc_trace::Trace,
 ) -> bool {
-    use snbc_interval::{eval_range, Interval};
+    use snbc_interval::{eval_range, wave_search, widest_axis, BoxEval, Interval};
     let n = domain.len();
     let h_grad: Vec<Polynomial> = (0..n).map(|i| h.partial(i)).collect();
     let root: Vec<Interval> = domain.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect();
-    let mut stack = vec![root];
-    let mut processed = 0usize;
-    while let Some(bx) = stack.pop() {
-        processed += 1;
-        if processed > max_boxes {
-            return false;
-        }
+    let outcome = wave_search(root, max_boxes, trace, |bx| {
         let mid: Vec<f64> = bx.iter().map(|iv| iv.mid()).collect();
         let d_mid = mlp.forward(&mid) - h.eval(&mid);
         if d_mid.abs() > sigma {
-            return false; // concrete violation of this σ level
+            // Concrete violation of this σ level: abort the whole search.
+            return BoxEval::Refuted { witness: mid, value: d_mid };
         }
         // Direct form.
-        let k_range = mlp.forward_interval(&bx);
-        let h_range = eval_range(h, &bx);
+        let k_range = mlp.forward_interval(bx);
+        let h_range = eval_range(h, bx);
         let direct = (k_range - h_range).hi().abs().max((k_range - h_range).lo().abs());
         // Mean-value form.
-        let kg = mlp.gradient_interval(&bx);
+        let kg = mlp.gradient_interval(bx);
         let mut mv = d_mid.abs();
         for (i, iv) in bx.iter().enumerate() {
-            let hg = eval_range(&h_grad[i], &bx);
+            let hg = eval_range(&h_grad[i], bx);
             let gmax = (kg[i] - hg).hi().abs().max((kg[i] - hg).lo().abs());
             mv += gmax * iv.width() * 0.5;
         }
         // Chord relaxation.
-        let chord = chord_bound(mlp, h, &bx).unwrap_or(f64::INFINITY);
+        let chord = chord_bound(mlp, h, bx).unwrap_or(f64::INFINITY);
         if direct.min(mv).min(chord) <= sigma {
-            continue;
+            return BoxEval::Discharged;
         }
-        // Split the widest dimension.
-        let (widest, width) = bx
-            .iter()
-            .enumerate()
-            .map(|(i, iv)| (i, iv.width()))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty box");
-        if width < 1e-6 {
-            return false; // cannot prove at this precision
+        match widest_axis(bx) {
+            Some((_, width)) if width >= 1e-6 => BoxEval::Split,
+            // Cannot prove at this precision: give up on this σ level.
+            _ => BoxEval::Refuted { witness: mid, value: d_mid },
         }
-        let (l, r) = bx[widest].split();
-        let mut left = bx.clone();
-        left[widest] = l;
-        let mut right = bx;
-        right[widest] = r;
-        stack.push(left);
-        stack.push(right);
-    }
-    true
+    });
+    outcome.refuted.is_none() && outcome.exhausted.is_none()
 }
 
 /// CROWN-style bound of `max |k(x) − h(x)|` over the box for

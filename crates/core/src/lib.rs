@@ -84,6 +84,7 @@ pub use cex::{CexConfig, Counterexample, ViolatedCondition};
 pub use error::SnbcError;
 pub use learner::{Learner, LearnerConfig, TrainingSets};
 pub use verifier::{
-    recheck_with_intervals, verify_multi, SubproblemResult, VerificationOutcome, Verifier,
+    recheck_with_intervals, recheck_with_intervals_recorded, verify_multi, SubproblemResult,
+    VerificationOutcome, Verifier,
     VerifierConfig,
 };

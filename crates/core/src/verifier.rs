@@ -300,6 +300,32 @@ pub fn recheck_with_intervals(
     inclusion: &PolynomialInclusion,
     bb: &BranchAndBound,
 ) -> bool {
+    recheck_with_intervals_recorded(
+        b,
+        lambda,
+        system,
+        inclusion,
+        bb,
+        &snbc_telemetry::Telemetry::off(),
+    )
+}
+
+/// [`recheck_with_intervals`] with telemetry: wraps the three Theorem 1
+/// conditions in `interval-init` / `interval-unsafe` / `interval-flow`
+/// spans under an `interval-recheck` parent, records `boxes` / `max_depth`
+/// counters and a `holds` flag per condition, and attaches the telemetry's
+/// trace sink so the branch-and-bound wave engine emits per-worker
+/// `bb-boxes` spans (see docs/TRACING.md).
+pub fn recheck_with_intervals_recorded(
+    b: &Polynomial,
+    lambda: &Polynomial,
+    system: &Ccds,
+    inclusion: &PolynomialInclusion,
+    bb: &BranchAndBound,
+    telemetry: &snbc_telemetry::Telemetry,
+) -> bool {
+    let _span = telemetry.span("interval-recheck");
+    let trace = telemetry.trace();
     // (i) B ≥ 0 on Θ.
     let init_box: Vec<Interval> = system
         .init()
@@ -307,7 +333,14 @@ pub fn recheck_with_intervals(
         .iter()
         .map(|&(lo, hi)| Interval::new(lo, hi))
         .collect();
-    let r1 = bb.check_at_least(b, &init_box, system.init().polys(), 0.0);
+    let r1 = {
+        let _s = telemetry.span("interval-init");
+        let r = bb.check_at_least_traced(b, &init_box, system.init().polys(), 0.0, trace);
+        telemetry.add("boxes", r.boxes_processed as u64);
+        telemetry.add("max_depth", r.max_depth as u64);
+        telemetry.flag("holds", r.verdict == Verdict::Holds);
+        r
+    };
     if r1.verdict != Verdict::Holds {
         return false;
     }
@@ -319,7 +352,20 @@ pub fn recheck_with_intervals(
         .map(|&(lo, hi)| Interval::new(lo, hi))
         .collect();
     let neg_b = -b;
-    let r2 = bb.check_at_least(&neg_b, &unsafe_box, system.unsafe_set().polys(), 1e-9);
+    let r2 = {
+        let _s = telemetry.span("interval-unsafe");
+        let r = bb.check_at_least_traced(
+            &neg_b,
+            &unsafe_box,
+            system.unsafe_set().polys(),
+            1e-9,
+            trace,
+        );
+        telemetry.add("boxes", r.boxes_processed as u64);
+        telemetry.add("max_depth", r.max_depth as u64);
+        telemetry.flag("holds", r.verdict == Verdict::Holds);
+        r
+    };
     if r2.verdict != Verdict::Holds {
         return false;
     }
@@ -335,7 +381,14 @@ pub fn recheck_with_intervals(
         .map(|&(lo, hi)| Interval::new(lo, hi))
         .collect();
     domain_box.push(Interval::new(-sigma, sigma));
-    let r3 = bb.check_at_least(&expr, &domain_box, system.domain().polys(), 1e-9);
+    let r3 = {
+        let _s = telemetry.span("interval-flow");
+        let r = bb.check_at_least_traced(&expr, &domain_box, system.domain().polys(), 1e-9, trace);
+        telemetry.add("boxes", r.boxes_processed as u64);
+        telemetry.add("max_depth", r.max_depth as u64);
+        telemetry.flag("holds", r.verdict == Verdict::Holds);
+        r
+    };
     r3.verdict == Verdict::Holds
 }
 

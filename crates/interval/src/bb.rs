@@ -1,4 +1,39 @@
+//! δ-complete branch-and-prune over boxes, built on a deterministic
+//! parallel *wave engine* (see [`wave_search`]).
+//!
+//! # The wave engine and the determinism contract
+//!
+//! The classic branch-and-prune loop is a serial depth-first stack: pop a
+//! box, bound the polynomial on it, prune / accept / split. Boxes are
+//! independent once popped, so the expensive per-box work (range bounding,
+//! midpoint evaluation) parallelizes — but a naive parallel queue makes the
+//! *order* in which boxes are examined depend on thread scheduling, and with
+//! it the box counts, the reported witness, and the budget cutoff point.
+//! That violates the workspace contract that `SNBC_THREADS` never changes an
+//! output bit (docs/PARALLELISM.md).
+//!
+//! The wave engine keeps the contract by making the exploration order a
+//! *pure function of the problem*:
+//!
+//! 1. a serial driver takes a fixed-size **wave** of boxes off the top of
+//!    the depth-first stack (top first, i.e. classic DFS order);
+//! 2. every box in the wave is evaluated — independently and in parallel
+//!    via [`snbc_par::par_map_collect`], which stores results in
+//!    index-ordered slots;
+//! 3. the verdicts are merged **serially in wave order**: the first refuted
+//!    box in wave order wins, δ-undecided boxes update the most-suspicious
+//!    candidate with a strict `<` (ties keep the earlier box), and split
+//!    children are pushed back in fixed order.
+//!
+//! Which boxes form a wave, what each evaluation returns, and how verdicts
+//! merge are all independent of the worker count; threads change wall-clock
+//! only. Small waves (fewer than [`MIN_PARALLEL_WAVE`] boxes) skip the
+//! parallel machinery entirely — same results, no spawn overhead — which is
+//! what keeps sub-second problems from paying for threads they cannot use
+//! (see docs/PERFORMANCE.md for the measured crossover).
+
 use snbc_poly::Polynomial;
+use snbc_trace::Trace;
 
 use crate::{bernstein_range, eval_range, Interval};
 
@@ -47,6 +82,189 @@ pub struct CheckReport {
     pub max_depth: usize,
 }
 
+// ---------------------------------------------------------------------------
+// The deterministic wave engine
+
+/// Verdict of one box evaluation inside [`wave_search`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoxEval {
+    /// The box is fully discharged (proven, or pruned as infeasible).
+    Discharged,
+    /// A concrete refutation: the whole search stops with this witness.
+    Refuted {
+        /// The refuting point.
+        witness: Vec<f64>,
+        /// The value observed there.
+        value: f64,
+    },
+    /// The box is too small to split further but could not be discharged;
+    /// it becomes a candidate for the most-suspicious δ-box.
+    Undecided {
+        /// The box midpoint.
+        witness: Vec<f64>,
+        /// A score; the candidate with the smallest score wins (strict
+        /// `<`, so ties keep the earliest box in exploration order).
+        value: f64,
+    },
+    /// Split the box along its widest dimension and keep searching.
+    Split,
+}
+
+/// Result of a [`wave_search`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveOutcome {
+    /// First refutation in exploration order, if any.
+    pub refuted: Option<(Vec<f64>, f64)>,
+    /// Most suspicious δ-undecided box (smallest score, earliest wins ties).
+    pub suspicious: Option<(Vec<f64>, f64)>,
+    /// Boxes evaluated before the search ended.
+    pub boxes_processed: usize,
+    /// Deepest subdivision level reached.
+    pub max_depth: usize,
+    /// `true` when the box budget ran out with work still pending; the
+    /// midpoint of the next pending box is reported alongside.
+    pub exhausted: Option<Vec<f64>>,
+}
+
+/// Boxes taken per wave: bounds frontier memory at `O(wave · depth)` while
+/// giving the workers enough independent boxes to stay busy.
+const WAVE_TARGET: usize = 256;
+
+/// Boxes per traced evaluation chunk inside a wave. The chunk grid depends
+/// only on the wave length, so trace span counts are thread-count-invariant.
+const EVAL_CHUNK: usize = 16;
+
+/// Waves shorter than this run inline on the caller: the per-wave spawn
+/// cost (~tens of µs) exceeds the per-box work for small frontiers, which
+/// is exactly the regime of sub-second quickstart-sized problems.
+pub const MIN_PARALLEL_WAVE: usize = 64;
+
+/// Deterministic parallel branch-and-bound driver.
+///
+/// Explores the tree rooted at `root` depth-first in waves (see the wave
+/// engine discussion in the crate docs), evaluating each box with `eval`
+/// and splitting
+/// [`BoxEval::Split`] boxes along their widest dimension. Stops at the first
+/// [`BoxEval::Refuted`] box in exploration order, or when `max_boxes`
+/// evaluations have been spent. The result is bitwise identical at any
+/// `SNBC_THREADS` setting.
+///
+/// When `trace` is recording, each parallel evaluation chunk emits a
+/// `bb-boxes` span on the worker that ran it, so Perfetto timelines and the
+/// self-time profile show the branch-and-bound fan-out per worker.
+pub fn wave_search<F>(root: Vec<Interval>, max_boxes: usize, trace: &Trace, eval: F) -> WaveOutcome
+where
+    F: Fn(&[Interval]) -> BoxEval + Sync,
+{
+    let mut stack: Vec<(Vec<Interval>, usize)> = vec![(root, 0)];
+    let mut boxes_processed = 0usize;
+    let mut max_depth = 0usize;
+    let mut suspicious: Option<(Vec<f64>, f64)> = None;
+
+    while let Some(top) = stack.last() {
+        let remaining = max_boxes.saturating_sub(boxes_processed);
+        if remaining == 0 {
+            let pending: Vec<f64> = top.0.iter().map(|iv| iv.mid()).collect();
+            return WaveOutcome {
+                refuted: None,
+                suspicious,
+                boxes_processed,
+                max_depth,
+                exhausted: Some(pending),
+            };
+        }
+        let w = WAVE_TARGET.min(stack.len()).min(remaining);
+        let mut wave = stack.split_off(stack.len() - w);
+        wave.reverse(); // wave[0] is the former stack top: classic DFS order
+        boxes_processed += w;
+
+        let evals: Vec<BoxEval> = if w < MIN_PARALLEL_WAVE {
+            // Same computation, no spawns: the engine below this size is
+            // pure overhead (docs/PERFORMANCE.md). Identical bits either way.
+            wave.iter().map(|(bx, _)| eval(bx)).collect()
+        } else {
+            let wave_ref = &wave;
+            let chunks: Vec<Vec<BoxEval>> =
+                snbc_par::par_map_collect(w.div_ceil(EVAL_CHUNK), |c| {
+                    let lo = c * EVAL_CHUNK;
+                    let hi = (lo + EVAL_CHUNK).min(w);
+                    let span = trace.begin_span("bb-boxes", Some(c as u64));
+                    let out: Vec<BoxEval> =
+                        wave_ref[lo..hi].iter().map(|(bx, _)| eval(bx)).collect();
+                    trace.end_span("bb-boxes", span);
+                    out
+                });
+            chunks.into_iter().flatten().collect()
+        };
+
+        // Serial merge in wave (= exploration) order.
+        let mut splits: Vec<(Vec<Interval>, usize)> = Vec::new();
+        for ((bx, depth), ev) in wave.into_iter().zip(evals) {
+            max_depth = max_depth.max(depth);
+            match ev {
+                BoxEval::Discharged => {}
+                BoxEval::Refuted { witness, value } => {
+                    return WaveOutcome {
+                        refuted: Some((witness, value)),
+                        suspicious,
+                        boxes_processed,
+                        max_depth,
+                        exhausted: None,
+                    };
+                }
+                BoxEval::Undecided { witness, value } => {
+                    let better = suspicious.as_ref().is_none_or(|(_, v)| value < *v);
+                    if better {
+                        suspicious = Some((witness, value));
+                    }
+                }
+                BoxEval::Split => {
+                    let Some((axis, _)) = widest_axis(&bx) else {
+                        continue; // 0-dimensional: nothing to split
+                    };
+                    let (l, r) = bx[axis].split();
+                    let mut left = bx.clone();
+                    left[axis] = l;
+                    let mut right = bx;
+                    right[axis] = r;
+                    splits.push((left, depth + 1));
+                    splits.push((right, depth + 1));
+                }
+            }
+        }
+        // Children of earlier wave boxes land nearer the stack top, and for
+        // each split the right child is explored first — the same order the
+        // serial DFS produced.
+        for pair in splits.chunks(2).rev() {
+            for child in pair {
+                stack.push(child.clone());
+            }
+        }
+    }
+
+    WaveOutcome {
+        refuted: None,
+        suspicious,
+        boxes_processed,
+        max_depth,
+        exhausted: None,
+    }
+}
+
+/// Index and width of the widest dimension of a box (`None` for empty boxes).
+/// This is the branch-and-prune split rule: halving the widest axis shrinks
+/// the box diameter fastest, which is what drives the Lipschitz-style range
+/// bounds toward convergence.
+pub fn widest_axis(bx: &[Interval]) -> Option<(usize, f64)> {
+    bx.iter()
+        .enumerate()
+        .map(|(i, iv)| (i, iv.width()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+// ---------------------------------------------------------------------------
+// The δ-complete decision procedure
+
 /// δ-complete branch-and-prune verifier for polynomial inequalities over
 /// boxes — the reproduction's stand-in for dReal (see the
 /// [crate docs](crate)).
@@ -81,6 +299,11 @@ impl BranchAndBound {
     /// budget is exhausted the current most-suspicious box is reported as
     /// [`Verdict::Unknown`].
     ///
+    /// Box evaluations run in parallel through the deterministic
+    /// [`wave_search`] engine: the verdict, the witness, and the box counts
+    /// are bitwise identical at any `SNBC_THREADS` setting
+    /// (`tests/par_determinism.rs` enforces this end to end).
+    ///
     /// # Panics
     ///
     /// Panics if `domain` has fewer coordinates than the polynomials use.
@@ -91,96 +314,76 @@ impl BranchAndBound {
         constraints: &[Polynomial],
         bound: f64,
     ) -> CheckReport {
+        self.check_at_least_traced(p, domain, constraints, bound, &Trace::off())
+    }
+
+    /// [`BranchAndBound::check_at_least`] with an attached trace sink: the
+    /// wave engine emits per-chunk `bb-boxes` spans on the workers that
+    /// evaluate them (see docs/TRACING.md).
+    pub fn check_at_least_traced(
+        &self,
+        p: &Polynomial,
+        domain: &[Interval],
+        constraints: &[Polynomial],
+        bound: f64,
+        trace: &Trace,
+    ) -> CheckReport {
         let range_of = |p: &Polynomial, bx: &[Interval]| match self.tightening {
             RangeTightening::Interval => eval_range(p, bx),
             RangeTightening::Bernstein => bernstein_range(p, bx),
         };
-        let mut stack: Vec<(Vec<Interval>, usize)> = vec![(domain.to_vec(), 0)];
-        let mut boxes_processed = 0;
-        let mut max_depth = 0;
-        let mut suspicious: Option<(Vec<f64>, f64)> = None;
-
-        while let Some((bx, depth)) = stack.pop() {
-            boxes_processed += 1;
-            max_depth = max_depth.max(depth);
-            if boxes_processed > self.max_boxes {
-                let (witness, value) = suspicious
-                    .unwrap_or_else(|| (bx.iter().map(|i| i.mid()).collect(), f64::NAN));
-                return CheckReport {
-                    verdict: Verdict::Unknown { witness, value },
-                    boxes_processed,
-                    max_depth,
-                };
-            }
-
+        let outcome = wave_search(domain.to_vec(), self.max_boxes, trace, |bx| {
             // Constraint pruning: if some gᵢ is provably negative on the box,
             // the region does not intersect it.
-            if constraints.iter().any(|g| range_of(g, &bx).hi() < 0.0) {
-                continue;
+            if constraints.iter().any(|g| range_of(g, bx).hi() < 0.0) {
+                return BoxEval::Discharged;
             }
-
-            let range = range_of(p, &bx);
+            let range = range_of(p, bx);
             if range.lo() >= bound {
-                continue; // proven on this box
+                return BoxEval::Discharged; // proven on this box
             }
-
             // Try the midpoint as a concrete counterexample.
             let mid: Vec<f64> = bx.iter().map(|i| i.mid()).collect();
             let feasible = constraints.iter().all(|g| g.eval(&mid) >= 0.0);
             if feasible {
                 let v = p.eval(&mid);
                 if v < bound {
-                    return CheckReport {
-                        verdict: Verdict::Violated {
-                            witness: mid,
-                            value: v,
-                        },
-                        boxes_processed,
-                        max_depth,
+                    return BoxEval::Refuted {
+                        witness: mid,
+                        value: v,
                     };
                 }
             }
-
             // Box too small to split further: δ-undecided. A 0-dimensional
             // box has no axis to split, so it is terminal by definition.
-            let Some((widest, width)) = bx
-                .iter()
-                .enumerate()
-                .map(|(i, iv)| (i, iv.width()))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            else {
-                continue;
+            let Some((_, width)) = widest_axis(bx) else {
+                return BoxEval::Discharged;
             };
             if width < self.delta {
-                let better = suspicious
-                    .as_ref()
-                    .is_none_or(|(_, v)| range.lo() < *v);
-                if better {
-                    suspicious = Some((mid, range.lo()));
-                }
-                continue;
+                return BoxEval::Undecided {
+                    witness: mid,
+                    value: range.lo(),
+                };
             }
+            BoxEval::Split
+        });
 
-            let (l, r) = bx[widest].split();
-            let mut left = bx.clone();
-            left[widest] = l;
-            let mut right = bx;
-            right[widest] = r;
-            stack.push((left, depth + 1));
-            stack.push((right, depth + 1));
-        }
-
-        match suspicious {
-            None => CheckReport {
-                verdict: Verdict::Holds,
-                boxes_processed,
-                max_depth,
-            },
-            Some((witness, value)) => CheckReport {
-                verdict: Verdict::Unknown { witness, value },
-                boxes_processed,
-                max_depth,
-            },
+        let verdict = if let Some((witness, value)) = outcome.refuted {
+            Verdict::Violated { witness, value }
+        } else if let Some(pending) = outcome.exhausted {
+            let (witness, value) = outcome
+                .suspicious
+                .unwrap_or((pending, f64::NAN));
+            Verdict::Unknown { witness, value }
+        } else if let Some((witness, value)) = outcome.suspicious {
+            Verdict::Unknown { witness, value }
+        } else {
+            Verdict::Holds
+        };
+        CheckReport {
+            verdict,
+            boxes_processed: outcome.boxes_processed,
+            max_depth: outcome.max_depth,
         }
     }
 }
@@ -294,5 +497,45 @@ mod tests {
                 .boxes_processed
         };
         assert!(mk(1) <= mk(3), "box count should not shrink with dimension");
+    }
+
+    #[test]
+    fn traced_check_emits_worker_chunk_spans() {
+        // A dependency-heavy proof processes enough boxes to cross
+        // MIN_PARALLEL_WAVE, so the traced run must contain `bb-boxes`
+        // chunk spans — and the same verdict as the untraced run.
+        let p: Polynomial = "(x0 - x1)^2 + 0.01".parse().unwrap();
+        let dom = unit_box(2);
+        let bb = BranchAndBound::default();
+        let plain = bb.check_at_least(&p, &dom, &[], 0.0);
+        let trace = Trace::recording();
+        let traced = bb.check_at_least_traced(&p, &dom, &[], 0.0, &trace);
+        assert_eq!(plain, traced, "tracing must not change the result");
+        let dump = trace.dump().expect("recording trace dumps");
+        let spans = dump
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| {
+                matches!(&e.kind, snbc_trace::EventKind::SpanBegin { name, .. } if name == "bb-boxes")
+            })
+            .count();
+        assert!(spans > 0, "expected bb-boxes spans in the traced run");
+    }
+
+    #[test]
+    fn wave_search_engine_is_deterministic_across_thread_counts() {
+        // Direct engine-level check (the end-to-end leg lives in
+        // tests/par_determinism.rs): identical outcome at 1 vs 4 workers.
+        let p: Polynomial = "(x0^2 + x1^2 - 1)^2 + 0.0001".parse().unwrap();
+        let run = |threads: usize| {
+            snbc_par::set_threads(Some(threads));
+            let r = BranchAndBound::default().check_at_least(&p, &unit_box(2), &[], 0.0);
+            snbc_par::set_threads(None);
+            r
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
     }
 }

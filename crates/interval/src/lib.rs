@@ -20,6 +20,24 @@
 //! demonstrates), and an *independent soundness cross-check* for the SOS/LMI
 //! certificates produced by the main SNBC pipeline.
 //!
+//! # Split rule and the paper's mesh argument
+//!
+//! The branch-and-prune split rule — halve the *widest* axis
+//! ([`widest_axis`]) — is the box analogue of the paper's §3 mesh argument:
+//! a Lipschitz-continuous function `f` deviates from its value at a box
+//! midpoint by at most `L·r`, where `r` is half the box diameter, so
+//! shrinking the diameter fastest (always splitting the widest axis)
+//! tightens the midpoint-centred enclosure fastest. Where §3 fixes a mesh
+//! spacing `τ` up front from the Lipschitz constant, branch-and-prune
+//! refines adaptively and only where the range bound stays inconclusive —
+//! the two meet in the δ threshold, which plays the role of the terminal
+//! mesh width.
+//!
+//! Since this PR, box evaluations run through the deterministic parallel
+//! wave engine ([`wave_search`]): verdicts, witnesses, and box counts are
+//! bitwise identical at any `SNBC_THREADS` setting. See `docs/PARALLELISM.md`
+//! and `docs/PERFORMANCE.md` for the contract and the tuning constants.
+//!
 //! **Rounding caveat**: arithmetic uses round-to-nearest `f64` without
 //! directed (outward) rounding, matching dReal's numerical-δ setting rather
 //! than a formally verified interval library. Enclosures are therefore exact
@@ -44,6 +62,9 @@ mod bb;
 mod bernstein;
 mod interval;
 
-pub use bb::{BranchAndBound, CheckReport, RangeTightening, Verdict};
+pub use bb::{
+    wave_search, widest_axis, BoxEval, BranchAndBound, CheckReport, RangeTightening, Verdict,
+    WaveOutcome, MIN_PARALLEL_WAVE,
+};
 pub use bernstein::bernstein_range;
 pub use interval::{eval_range, hull, Interval};

@@ -1,5 +1,28 @@
 use crate::{LinalgError, Matrix};
 
+/// Panel width of the left-looking Cholesky factorization. A pure locality
+/// knob: the update order within every `L` entry is unchanged (see
+/// [`chol_row_update`]), so any width gives bit-identical factors; 32
+/// columns × 8 bytes keeps a row prefix plus the panel in L1. Blocked
+/// *right-looking* variants (trailing-matrix GEMM updates) are deliberately
+/// not used — they reorder the subtraction chain and would break the
+/// workspace's bitwise-stability contract (docs/PERFORMANCE.md).
+const CHOL_NB: usize = 32;
+
+/// The inner Cholesky kernel: `s − Σ xᵢ·yᵢ` accumulated *sequentially in
+/// index order* — exactly the subtraction chain of the textbook left-looking
+/// loop, split across panels by slicing `x`/`y`. A separate dot-product
+/// accumulator would not be bitwise equal (`a − (t₁ + t₂) ≠ a − t₁ − t₂` in
+/// floating point), and skipping zero multiplicands could flip signed
+/// zeros, so neither shortcut is taken.
+// audit:hot
+fn chol_row_update(mut s: f64, x: &[f64], y: &[f64]) -> f64 {
+    for (a, b) in x.iter().zip(y) {
+        s -= a * b;
+    }
+    s
+}
+
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 ///
 /// Used throughout the SDP interior-point solver: for factoring scaled iterates
@@ -40,23 +63,47 @@ impl Cholesky {
         }
         let n = a.nrows();
         let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut d = a[(j, j)];
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
-            }
-            if !(d > 0.0) || !d.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite { index: j, pivot: d });
-            }
-            let dj = d.sqrt();
-            l[(j, j)] = dj;
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+        // Panelled left-looking factorization. For each `CHOL_NB`-column
+        // panel `[p, phi)`:
+        //
+        //   phase 1 applies the updates from the already-final columns
+        //   `[0, p)` to the whole panel block, row by row — the row-`i`
+        //   prefix `l[i][..p]` is read once and reused for up to `CHOL_NB`
+        //   panel columns while cache-hot (the locality win over the
+        //   unblocked loop, which re-streams it per column of `L`);
+        //
+        //   phase 2 finishes the panel with the textbook left-looking
+        //   recurrence restricted to the in-panel columns `[p, j)`.
+        //
+        // Each entry's subtraction chain is the phase-1 range `[0, p)`
+        // followed by the phase-2 range `[p, j)` — concatenated, that is the
+        // naive `k = 0..j` ascending order exactly, so the factor (and any
+        // pivot failure, at the same index with the same value) is bitwise
+        // identical to the unblocked loop (`tests/tiled_equivalence.rs`).
+        let mut p = 0;
+        while p < n {
+            let phi = (p + CHOL_NB).min(n);
+            // Phase 1: seed the panel block from A and fold in columns [0, p).
+            for i in p..n {
+                for j in p..phi.min(i + 1) {
+                    let s = chol_row_update(a[(i, j)], &l.row(i)[..p], &l.row(j)[..p]);
+                    l[(i, j)] = s;
                 }
-                l[(i, j)] = s / dj;
             }
+            // Phase 2: factor the panel columns in order.
+            for j in p..phi {
+                let d = chol_row_update(l[(j, j)], &l.row(j)[p..j], &l.row(j)[p..j]);
+                if !(d > 0.0) || !d.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { index: j, pivot: d });
+                }
+                let dj = d.sqrt();
+                l[(j, j)] = dj;
+                for i in (j + 1)..n {
+                    let s = chol_row_update(l[(i, j)], &l.row(i)[p..j], &l.row(j)[p..j]);
+                    l[(i, j)] = s / dj;
+                }
+            }
+            p = phi;
         }
         crate::sanitize::check_finite("Cholesky::new", l.as_slice());
         crate::sanitize::check_positive(

@@ -11,6 +11,21 @@
 //! constraints), so a cache-friendly dense representation with `f64` entries is
 //! the right tool; no sparse machinery is needed.
 //!
+//! # Tiling and the bitwise contract
+//!
+//! The two hottest kernels — GEMM ([`Matrix::matmul`], tiles `GEMM_MC = 64`
+//! rows × `GEMM_NC = 256` columns of the output) and the Cholesky
+//! factorization ([`Matrix::cholesky`], `CHOL_NB = 32`-column panels) — are
+//! cache-tiled, but only in ways that leave every floating-point operation
+//! sequence unchanged: GEMM keeps each output element's full ascending `k`
+//! accumulation (no `k`-blocking), and the Cholesky panels concatenate their
+//! update ranges into exactly the textbook `k = 0..j` subtraction chain. The
+//! tile sizes are therefore pure locality knobs — any value produces
+//! bit-identical results (pinned by `tests/tiled_equivalence.rs`), which is
+//! what the workspace determinism contract (docs/PARALLELISM.md) and the
+//! strict `snbc-bench check` baselines require of a kernel change. Measured
+//! effects and tuning guidance: docs/PERFORMANCE.md.
+//!
 //! # Example
 //!
 //! ```

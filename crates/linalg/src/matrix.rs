@@ -3,6 +3,19 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 use crate::{Cholesky, Ldlt, LinalgError, Lu, Qr, SymmetricEigen};
 
+/// GEMM output-block height (rows of `A` per tile). 64 rows × 8 bytes ×
+/// a few-hundred-column panel keeps the working set within L2 on any modern
+/// core. Only the *output* traversal is tiled — blocking the `k` dimension
+/// (the classic third GEMM loop split) would reorder the floating-point
+/// accumulation and break the workspace's bitwise-stability contract, so
+/// that knob is deliberately absent (docs/PERFORMANCE.md).
+const GEMM_MC: usize = 64;
+
+/// GEMM output-block width (columns of `B` per tile): the streaming width
+/// of the `B` panel. Like [`GEMM_MC`], a pure locality knob — output tiles
+/// are independent, so any value gives bit-identical results.
+const GEMM_NC: usize = 256;
+
 /// A dense, row-major matrix of `f64` entries.
 ///
 /// This is the workhorse type of the workspace: Gram matrices in SOS programs,
@@ -201,20 +214,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                // Sparse-coefficient skip; exactness is intended.
-                if aik == 0.0 { // audit:allow(float-eq)
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
-            }
-        }
+        self.matmul_kernel(other, &mut out);
         out
     }
 
@@ -234,19 +234,48 @@ impl Matrix {
             "matmul_into output shape mismatch"
         );
         out.data.fill(0.0);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                // Sparse-coefficient skip; exactness is intended.
-                if aik == 0.0 { // audit:allow(float-eq)
-                    continue;
+        self.matmul_kernel(other, out);
+    }
+
+    /// Cache-tiled GEMM kernel shared by [`Matrix::matmul`] and
+    /// [`Matrix::matmul_into`]; `out` must be pre-zeroed with the product's
+    /// shape.
+    ///
+    /// Tiling is over the output: `GEMM_MC`-row × `GEMM_NC`-column blocks,
+    /// with the `k` loop kept *full and ascending* inside each block, so
+    /// every `out[(i, j)]` accumulates its products in exactly the order the
+    /// naive i-k-j loop used — the tiling is a pure traversal reordering of
+    /// *independent* output elements and is therefore bitwise identical to
+    /// the untiled kernel (property-tested in `tests/tiled_equivalence.rs`).
+    /// The win is locality: a `GEMM_MC × k` panel of `A` and a
+    /// `k × GEMM_NC` panel of `B` stay cache-resident while producing one
+    /// output block, instead of streaming all of `B` per row of `A`.
+    // audit:hot
+    fn matmul_kernel(&self, other: &Matrix, out: &mut Matrix) {
+        let (m, n) = (self.rows, other.cols);
+        let mut ib = 0;
+        while ib < m {
+            let ihi = (ib + GEMM_MC).min(m);
+            let mut jb = 0;
+            while jb < n {
+                let jhi = (jb + GEMM_NC).min(n);
+                for i in ib..ihi {
+                    for k in 0..self.cols {
+                        let aik = self[(i, k)];
+                        // Sparse-coefficient skip; exactness is intended.
+                        if aik == 0.0 { // audit:allow(float-eq)
+                            continue;
+                        }
+                        let brow = &other.row(k)[jb..jhi];
+                        let orow = &mut out.row_mut(i)[jb..jhi];
+                        for (o, b) in orow.iter_mut().zip(brow) {
+                            *o += aik * b;
+                        }
+                    }
                 }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
+                jb = jhi;
             }
+            ib = ihi;
         }
     }
 

@@ -137,3 +137,55 @@ fn trace_event_stream_is_deterministic_across_thread_counts() {
         serial.tracks.len()
     );
 }
+
+/// Runs a dependency-heavy δ-complete check at the given thread count and
+/// returns the full report (verdict, witness, box count, depth).
+fn interval_check_with_threads(threads: usize) -> Vec<snbc_interval::CheckReport> {
+    use snbc_interval::{BranchAndBound, Interval, RangeTightening};
+    std::env::set_var("SNBC_THREADS", threads.to_string());
+    // The squared circle constraint maximizes interval dependency, forcing
+    // deep subdivision — thousands of boxes, so the branch-and-bound wave
+    // engine genuinely fans out (waves above its parallel threshold).
+    let p: snbc_poly::Polynomial = "(x0^2 + x1^2 - 1)^2 + 0.0001".parse().unwrap();
+    let violated: snbc_poly::Polynomial = "(x0^2 + x1^2 - 1)^2 - 0.25".parse().unwrap();
+    let g: snbc_poly::Polynomial = "x0 + x1".parse().unwrap();
+    let dom = vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)];
+    let reports = vec![
+        BranchAndBound::default().check_at_least(&p, &dom, &[], 0.0),
+        BranchAndBound {
+            tightening: RangeTightening::Bernstein,
+            ..Default::default()
+        }
+        .check_at_least(&p, &dom, &[g], 0.0),
+        BranchAndBound::default().check_at_least(&violated, &dom, &[], 0.0),
+    ];
+    std::env::remove_var("SNBC_THREADS");
+    reports
+}
+
+#[test]
+fn interval_branch_and_bound_is_bitwise_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let serial = interval_check_with_threads(1);
+    let parallel = interval_check_with_threads(4);
+
+    // Full report equality: verdict (witness coordinates compare as exact
+    // f64), box count, and subdivision depth — the wave engine's exploration
+    // order must be a pure function of the problem, not the worker count.
+    assert_eq!(
+        serial, parallel,
+        "interval B&B reports differ between SNBC_THREADS=1 and 4"
+    );
+
+    // Guard against vacuity: the proof legs must have processed enough boxes
+    // to actually cross the engine's parallel-wave threshold.
+    assert!(
+        serial[0].boxes_processed > 1_000,
+        "dependency-heavy check finished in {} boxes — too few to exercise parallel waves",
+        serial[0].boxes_processed
+    );
+    assert!(matches!(
+        serial[2].verdict,
+        snbc_interval::Verdict::Violated { .. }
+    ));
+}
