@@ -66,6 +66,24 @@ SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --
   --trace target/ci-artifacts/interval-trace.json
 grep -q '"schema":"snbc-trace/1"' target/ci-artifacts/interval-trace.json
 
+echo "==> snbc-bench check --suite portfolio (racing + cache regression gate)"
+# The portfolio suite runs a two-job batch twice through one scratch cache:
+# the strict 1-thread leg pins the deterministic winner indices and the
+# cold-hit/cold-miss counters; the 4-thread leg proves the racing layer is
+# thread-count-invariant end to end.
+SNBC_THREADS=1 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite portfolio
+SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite portfolio
+
+echo "==> snbc batch smoke (cold race, then warm cache must serve every job)"
+batch_tmp="$(mktemp -d)"
+target/release/snbc batch examples/batch_jobs.json \
+  --cache-dir "$batch_tmp/cache" --report target/ci-artifacts/batch-report.json > /dev/null
+target/release/snbc batch examples/batch_jobs.json \
+  --cache-dir "$batch_tmp/cache" --report "$batch_tmp/warm.json" --require-all-hits > /dev/null
+cmp target/ci-artifacts/batch-report.json "$batch_tmp/warm.json"
+grep -q '"schema": "snbc-batch-report/1"' target/ci-artifacts/batch-report.json
+rm -rf "$batch_tmp"
+
 echo "==> snbc synth --trace smoke (Perfetto export)"
 trace_tmp="$(mktemp -d)"
 target/release/snbc example > "$trace_tmp/plant.sys"

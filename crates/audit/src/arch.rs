@@ -87,6 +87,18 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-dynamics",
         "snbc",
         "snbc-baselines",
+        "snbc-portfolio",
+    ];
+    // The racing/batch layer sits directly above `snbc` (core): it drives
+    // `CegisEngine` over `snbc-par` and shares core's observability stack.
+    const PORTFOLIO: &[&str] = &[
+        "snbc-trace",
+        "snbc-telemetry",
+        "snbc-par",
+        "snbc-poly",
+        "snbc-nn",
+        "snbc-dynamics",
+        "snbc",
     ];
     const CLI: &[&str] = &[
         "snbc-trace",
@@ -103,6 +115,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "snbc-dynamics",
         "snbc",
         "snbc-baselines",
+        "snbc-portfolio",
     ];
 
     Some(match crate_dir {
@@ -114,6 +127,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
         "nn" => NN,
         "dynamics" => DYNAMICS,
         "core" => CORE,
+        "portfolio" => PORTFOLIO,
         "baselines" => BASELINES,
         "bench" => BENCH,
         "cli" => CLI,

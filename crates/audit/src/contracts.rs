@@ -30,7 +30,7 @@ use crate::rules::{Finding, Frame, Rule};
 /// The solver stack governed by the `solver-effects` contract: every crate
 /// the verifier side of CEGIS depends on for a certificate's validity.
 pub const CONTRACT_CRATES: &[&str] = &[
-    "core", "interval", "linalg", "lp", "nn", "poly", "sdp", "sos",
+    "core", "interval", "linalg", "lp", "nn", "poly", "portfolio", "sdp", "sos",
 ];
 
 /// Effects the solver stack must be transitively free of.

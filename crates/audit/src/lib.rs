@@ -58,8 +58,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees must not contain panicking calls: the solver
-/// stack that the verifier side of CEGIS leans on.
-pub const SOLVER_CRATES: &[&str] = &["linalg", "lp", "sdp", "sos", "interval"];
+/// stack that the verifier side of CEGIS leans on, plus the batch service
+/// (`portfolio`), whose job loop must degrade malformed input and cache
+/// defects to typed errors rather than abort a fleet run.
+pub const SOLVER_CRATES: &[&str] = &["linalg", "lp", "sdp", "sos", "interval", "portfolio"];
 
 /// Crates allowed to touch `std::thread` directly: the deterministic parallel
 /// runtime itself and the telemetry sink (thread-name labels). Everything

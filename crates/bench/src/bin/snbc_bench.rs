@@ -1,9 +1,9 @@
 //! `snbc-bench` — the benchmark regression gate.
 //!
 //! ```text
-//! snbc-bench check  [--suite quickstart|interval] [--baseline-dir bench-out]
+//! snbc-bench check  [--suite quickstart|interval|portfolio] [--baseline-dir bench-out]
 //!                   [--wall-factor 10] [--trace <json-file>]
-//! snbc-bench record [--suite quickstart|interval] [--output <json-file>]
+//! snbc-bench record [--suite quickstart|interval|portfolio] [--output <json-file>]
 //! ```
 //!
 //! `check` re-runs a benchmark suite in-process with a recording telemetry
@@ -33,6 +33,14 @@
 //!   branch-and-bound wave engine; the re-check must prove all three
 //!   Theorem 1 conditions, and its `boxes` counters are part of the strict
 //!   baseline.
+//! * `portfolio` — two identical C3 racing jobs run through
+//!   [`snbc_portfolio::run_batch`] twice against a scratch cache
+//!   (`target/bench-portfolio-cache`, wiped first). The cold leg must race
+//!   job 0 and serve job 1 from the just-stored entry; the warm leg must be
+//!   all cache hits; both legs' `snbc-batch-report/1` documents must be
+//!   byte-identical. The strict `_t1` baseline pins the deterministic
+//!   `race_winner_index`, `candidates_launched`, `waves`, and
+//!   `cache_hit`/`cache_miss` counters.
 //!
 //! `--trace` additionally attaches an `snbc-trace` sink and writes the
 //! Chrome trace-event JSON of the gate run (handy for inspecting what the
@@ -47,6 +55,7 @@ use snbc_bench::check::{check_reports, render_outcome, report_threads, DEFAULT_W
 use snbc_dynamics::benchmarks;
 use snbc_interval::BranchAndBound;
 use snbc_nn::{train_controller, ControllerTraining};
+use snbc_portfolio::{run_batch, BatchOptions, BatchSpec};
 use snbc_telemetry::Telemetry;
 
 fn main() -> ExitCode {
@@ -61,15 +70,17 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: snbc-bench check [--suite quickstart|interval] \
+const USAGE: &str = "usage: snbc-bench check [--suite quickstart|interval|portfolio] \
                      [--baseline-dir <dir>] [--wall-factor <f>] [--trace <json>]\n   \
-                     or: snbc-bench record [--suite quickstart|interval] [--output <json>]";
+                     or: snbc-bench record [--suite quickstart|interval|portfolio] [--output <json>]";
 
 fn parse_suite(name: &str) -> Result<String, String> {
-    if name == "quickstart" || name == "interval" {
+    if name == "quickstart" || name == "interval" || name == "portfolio" {
         Ok(name.to_string())
     } else {
-        Err(format!("unknown suite `{name}` (expected quickstart or interval)"))
+        Err(format!(
+            "unknown suite `{name}` (expected quickstart, interval, or portfolio)"
+        ))
     }
 }
 
@@ -124,6 +135,9 @@ fn run(args: &[String]) -> Result<bool, String> {
 /// training, matching `examples/quickstart.rs`, so the report's wall clock
 /// covers the synthesis pipeline only.
 fn run_suite(suite: &str, with_trace: bool) -> (Telemetry, bool) {
+    if suite == "portfolio" {
+        return run_portfolio_suite(with_trace);
+    }
     // Reproduce the exact quickstart run (examples/quickstart.rs) in-process.
     let bench = benchmarks::benchmark(3);
     let controller = train_controller(
@@ -191,6 +205,84 @@ fn run_suite(suite: &str, with_trace: bool) -> (Telemetry, bool) {
         }
     }
     (telemetry, true)
+}
+
+/// Two identical C3 racing jobs, run through the batch service twice
+/// against a freshly wiped scratch cache. The jobs differ only in name, so
+/// they share one content-addressed key: the cold leg must race job 0 and
+/// serve job 1 from the entry stored moments earlier (a repeated job never
+/// re-enters CEGIS), the warm leg must be pure lookups, and the two
+/// `snbc-batch-report/1` documents must be byte-identical.
+const PORTFOLIO_JOBS: &str = r#"{
+    "schema": "snbc-batch-jobs/1",
+    "jobs": [
+        {"name": "c3-a", "benchmark": 3, "grid": {"seeds": [1, 2]},
+         "max_iterations": 12, "controller_epochs": 300},
+        {"name": "c3-b", "benchmark": 3, "grid": {"seeds": [1, 2]},
+         "max_iterations": 12, "controller_epochs": 300}
+    ]
+}"#;
+
+fn run_portfolio_suite(with_trace: bool) -> (Telemetry, bool) {
+    let mut telemetry = Telemetry::recording();
+    if with_trace {
+        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
+    }
+    let cache_dir = std::path::Path::new("target/bench-portfolio-cache");
+    if cache_dir.exists() {
+        if let Err(e) = std::fs::remove_dir_all(cache_dir) {
+            eprintln!("[snbc-bench] cannot wipe {}: {e}", cache_dir.display());
+            return (telemetry, false);
+        }
+    }
+    let spec = BatchSpec::parse(PORTFOLIO_JOBS).expect("fixed jobs document parses");
+    let opts = BatchOptions {
+        base: SnbcConfig::default(),
+        cache_dir: Some(cache_dir.to_path_buf()),
+    };
+    let resolve = |path: &str| -> Result<(benchmarks::Benchmark, snbc_nn::Mlp), String> {
+        Err(format!("portfolio suite uses benchmark jobs only, got `{path}`"))
+    };
+    let run_leg = |leg: &str| -> Option<snbc_portfolio::BatchOutcome> {
+        match run_batch(&spec, &opts, &resolve, &telemetry, |_, _| {}) {
+            Ok(outcome) => Some(outcome),
+            Err(e) => {
+                eprintln!("[snbc-bench] {leg} batch leg FAILED: {e}");
+                None
+            }
+        }
+    };
+    let Some(cold) = run_leg("cold") else {
+        return (telemetry, false);
+    };
+    let Some(warm) = run_leg("warm") else {
+        return (telemetry, false);
+    };
+    let mut ok = true;
+    if !cold.jobs.iter().all(|j| j.result.certified) {
+        eprintln!("[snbc-bench] portfolio cold leg: not every job certified");
+        ok = false;
+    }
+    if (cold.hits(), cold.misses()) != (1, 1) {
+        eprintln!(
+            "[snbc-bench] portfolio cold leg: expected 1 hit (repeated job) + 1 miss, got {} + {}",
+            cold.hits(),
+            cold.misses()
+        );
+        ok = false;
+    }
+    if warm.misses() != 0 {
+        eprintln!(
+            "[snbc-bench] portfolio warm leg: expected all cache hits, {} job(s) raced",
+            warm.misses()
+        );
+        ok = false;
+    }
+    if cold.report_json() != warm.report_json() {
+        eprintln!("[snbc-bench] portfolio batch reports differ between cold and warm legs");
+        ok = false;
+    }
+    (telemetry, ok)
 }
 
 fn check(

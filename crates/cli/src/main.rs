@@ -3,6 +3,7 @@
 //! ```text
 //! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>] [--report <json-file>] [--trace <json-file>]
 //! snbc check <system-file> <certificate-file> [--deep]
+//! snbc batch <jobs-file> [--cache-dir <dir>] [--report <json-file>] [--require-all-hits]
 //! snbc falsify <system-file>
 //! snbc example
 //! ```
@@ -24,6 +25,7 @@ use snbc::{Snbc, SnbcConfig};
 use snbc_cli::{parse_system, ControllerSpec, SystemFile, EXAMPLE_SYSTEM};
 use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
 use snbc_nn::{train_controller, ControllerTraining, Mlp};
+use snbc_portfolio::{run_batch, BatchOptions, BatchSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +80,25 @@ fn run(args: &[String]) -> Result<(), String> {
             let deep = it.next().map(String::as_str) == Some("--deep");
             check(sys_path, cert_path, deep)
         }
+        Some("batch") => {
+            let path = it.next().ok_or("batch needs a jobs file")?;
+            let mut cache_dir = None;
+            let mut report = None;
+            let mut require_all_hits = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--cache-dir" => {
+                        cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone())
+                    }
+                    "--report" => {
+                        report = Some(it.next().ok_or("--report needs a path")?.clone())
+                    }
+                    "--require-all-hits" => require_all_hits = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            batch(path, cache_dir.as_deref(), report.as_deref(), require_all_hits)
+        }
         Some("falsify") => {
             let path = it.next().ok_or("falsify needs a system file")?;
             falsify_cmd(path)
@@ -89,7 +110,9 @@ fn run(args: &[String]) -> Result<(), String> {
         _ => Err(
             "usage: snbc synth <file> [--out <path>] [--timeout <secs>] [--report <json>] \
              [--trace <json>] | \
-             snbc check <file> <cert> [--deep] | snbc falsify <file> | snbc example"
+             snbc check <file> <cert> [--deep] | \
+             snbc batch <jobs> [--cache-dir <dir>] [--report <json>] [--require-all-hits] | \
+             snbc falsify <file> | snbc example"
                 .into(),
         ),
     }
@@ -200,6 +223,75 @@ fn synth(
             println!("certificate written to {path}");
         }
         None => print!("\n{cert}"),
+    }
+    Ok(())
+}
+
+/// Runs a `snbc-batch-jobs/1` file through the portfolio batch service:
+/// each job races its configuration grid unless the content-addressed cache
+/// (`--cache-dir`) already holds its certificate. `--require-all-hits`
+/// turns any live race into an error — the CI warm-cache leg uses it to
+/// prove the second run is pure lookups.
+fn batch(
+    path: &str,
+    cache_dir: Option<&str>,
+    report: Option<&str>,
+    require_all_hits: bool,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = BatchSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let opts = BatchOptions {
+        base: SnbcConfig::default(),
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+    };
+    let resolve = |sys_path: &str| -> Result<(Benchmark, Mlp), String> {
+        let sf = load(sys_path)?;
+        Ok(as_benchmark(&sf))
+    };
+    let telemetry = snbc_telemetry::Telemetry::recording();
+    let total = spec.jobs.len();
+    let outcome = run_batch(&spec, &opts, &resolve, &telemetry, |i, job| {
+        let source = if job.cache_hit {
+            "cache hit".to_string()
+        } else {
+            format!(
+                "raced {} candidate(s), {} wave(s)",
+                job.result.candidates, job.result.waves
+            )
+        };
+        let verdict = match job.result.winner_index {
+            Some(w) => format!(
+                "certified, winner #{w}, {} iteration(s)",
+                job.result.iterations.unwrap_or(0)
+            ),
+            None => "NOT certified".to_string(),
+        };
+        println!("[{}/{total}] {}: {verdict} ({source})", i + 1, job.name);
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(rep) = telemetry.report() {
+        println!("{}", snbc_telemetry::render_round_table(&rep));
+    }
+    println!(
+        "batch done: {} job(s), {} cache hit(s), {} raced, {} certified",
+        total,
+        outcome.hits(),
+        outcome.misses(),
+        outcome.jobs.iter().filter(|j| j.result.certified).count()
+    );
+    if let Some(rp) = report {
+        std::fs::write(rp, outcome.report_json())
+            .map_err(|e| format!("cannot write {rp}: {e}"))?;
+        println!("batch report written to {rp}");
+    }
+    if let Some(job) = outcome.jobs.iter().find(|j| !j.result.certified) {
+        return Err(format!("job `{}` did not certify", job.name));
+    }
+    if require_all_hits && outcome.misses() > 0 {
+        return Err(format!(
+            "--require-all-hits: {} job(s) missed the cache",
+            outcome.misses()
+        ));
     }
     Ok(())
 }

@@ -1,5 +1,18 @@
 //! The CEGIS driver (Algorithm 1): Learner ⇄ Verifier with counterexample
 //! feedback, plus the per-phase timing bookkeeping of Table 1.
+//!
+//! The loop is exposed at two granularities:
+//!
+//! * [`Snbc::synthesize`] — run Algorithm 1 to completion (the original
+//!   one-shot API);
+//! * [`CegisEngine`] — the same loop as a **resumable step-function**: each
+//!   [`CegisEngine::step`] call executes exactly one CEGIS round (learn →
+//!   verify → counterexamples) and reports a [`CegisStatus`]. This is the
+//!   unit the `snbc-portfolio` racing driver interleaves: K candidate
+//!   engines advance round-by-round in deterministic waves, and the first
+//!   certifying candidate (lowest grid index on ties) wins. A paused engine
+//!   holds no open resources beyond its telemetry span, so engines can be
+//!   stepped from `snbc-par` workers (the engine is `Send`).
 
 use std::time::Duration;
 
@@ -83,6 +96,45 @@ pub struct SnbcResult {
     pub t_total: Duration,
 }
 
+/// Result of one [`CegisEngine::step`].
+///
+/// Terminal states ([`Certified`](CegisStatus::Certified),
+/// [`Exhausted`](CegisStatus::Exhausted),
+/// [`TimedOut`](CegisStatus::TimedOut)) are sticky: further `step` calls
+/// return the same status again without doing any work, so a racing driver
+/// may keep a finished engine in its wave without special-casing it.
+#[derive(Debug, Clone)]
+pub enum CegisStatus {
+    /// The round finished without a certificate; call `step` again.
+    InProgress,
+    /// A verified certificate was found this round.
+    Certified(Box<SnbcResult>),
+    /// The iteration budget (`Iter` in Algorithm 1) ran out.
+    Exhausted {
+        /// Rounds executed (`= max_iterations`).
+        iterations: usize,
+        /// Best worst-case LMI margin seen over all failed rounds.
+        best_margin: f64,
+    },
+    /// The wall-clock budget tripped (the paper's OT).
+    TimedOut {
+        /// Elapsed seconds at the trip point.
+        elapsed: f64,
+    },
+}
+
+impl CegisStatus {
+    /// Whether the status is terminal (anything but `InProgress`).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, CegisStatus::InProgress)
+    }
+
+    /// Whether the status carries a verified certificate.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, CegisStatus::Certified(_))
+    }
+}
+
 /// The SNBC synthesizer (Algorithm 1).
 ///
 /// See the [crate docs](crate) for a quickstart.
@@ -104,7 +156,7 @@ impl Snbc {
     /// Attaches a telemetry sink and threads it through every pipeline stage
     /// (abstraction LP, learner, SDP verifier, counterexample search), so a
     /// recording run produces the full `snbc-run-report` span tree:
-    /// `cegis → approx/round → learn/verify/cex → lp/sdp/search-*`.
+    /// `cegis → round → learn / verify {init,unsafe,flow → sdp} / cex {search-*}, approx → lp`.
     ///
     /// ```
     /// use snbc::{Snbc, SnbcConfig};
@@ -130,6 +182,18 @@ impl Snbc {
         &self.cfg
     }
 
+    /// Builds a resumable [`CegisEngine`] for a benchmark with its
+    /// pre-trained NN controller. The engine performs the §3 controller
+    /// abstraction and network/sample initialization eagerly; each
+    /// [`CegisEngine::step`] then runs one CEGIS round.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnbcError::Approximation`] — the §3 LP failed.
+    pub fn engine(&self, bench: &Benchmark, controller: &Mlp) -> Result<CegisEngine, SnbcError> {
+        CegisEngine::new(self.cfg.clone(), self.telemetry.clone(), bench, controller)
+    }
+
     /// Runs Algorithm 1 on a benchmark with its pre-trained NN controller.
     ///
     /// # Errors
@@ -139,9 +203,76 @@ impl Snbc {
     ///   iteration budget;
     /// * [`SnbcError::Timeout`] — the wall-clock budget tripped (`OT`).
     pub fn synthesize(&self, bench: &Benchmark, controller: &Mlp) -> Result<SnbcResult, SnbcError> {
+        let mut engine = self.engine(bench, controller)?;
+        loop {
+            match engine.step() {
+                CegisStatus::InProgress => {}
+                CegisStatus::Certified(result) => return Ok(*result),
+                CegisStatus::Exhausted {
+                    iterations,
+                    best_margin,
+                } => {
+                    return Err(SnbcError::IterationsExhausted {
+                        iterations,
+                        best_margin,
+                    })
+                }
+                CegisStatus::TimedOut { elapsed } => return Err(SnbcError::Timeout { elapsed }),
+            }
+        }
+    }
+}
+
+/// Algorithm 1 as a resumable step-function.
+///
+/// Construction ([`Snbc::engine`]) performs everything Algorithm 1 does
+/// before its loop: the §3 polynomial inclusion of the controller, network
+/// initialization from the configured seed, initial sampling of the training
+/// sets, and the high-dimensional Lyapunov warm start. Each
+/// [`step`](CegisEngine::step) then
+/// executes exactly one round — learner, LMI verifier, counterexample
+/// feedback — and returns the resulting [`CegisStatus`].
+///
+/// The engine owns all of its state (no borrows of the benchmark), so many
+/// engines can be driven concurrently from `snbc-par` workers; one engine's
+/// round sequence is bitwise identical to the equivalent
+/// [`Snbc::synthesize`] run at any thread count.
+#[derive(Debug)]
+pub struct CegisEngine {
+    cfg: SnbcConfig,
+    telemetry: snbc_telemetry::Telemetry,
+    /// The open `cegis` span; dropped (closed) at the first terminal status.
+    run_span: Option<snbc_telemetry::SpanGuard>,
+    t0: Stopwatch,
+    system: snbc_dynamics::Ccds,
+    nn_b_hidden: Vec<usize>,
+    lambda_spec: LambdaSpec,
+    inclusion: PolynomialInclusion,
+    closed_nominal: Vec<Polynomial>,
+    closed_robust: Vec<Polynomial>,
+    learner: Learner,
+    sets: TrainingSets,
+    /// Per-round sample count (dimension-scaled; see `new`).
+    batch: usize,
+    t_learn: Duration,
+    t_cex: Duration,
+    t_verify: Duration,
+    best_margin: f64,
+    plateau: usize,
+    rounds: usize,
+    terminal: Option<CegisStatus>,
+}
+
+impl CegisEngine {
+    fn new(
+        cfg: SnbcConfig,
+        telemetry: snbc_telemetry::Telemetry,
+        bench: &Benchmark,
+        controller: &Mlp,
+    ) -> Result<Self, SnbcError> {
         let t0 = Stopwatch::start();
-        let tele = self.telemetry.clone();
-        let _run = tele.span("cegis");
+        let tele = telemetry;
+        let run_span = tele.span("cegis");
         if tele.is_recording() {
             tele.label("benchmark", bench.name);
             tele.gauge("threads", snbc_par::threads() as f64);
@@ -153,22 +284,22 @@ impl Snbc {
         // interval-certified error bound (tighter than the raw Theorem 2
         // Lipschitz gap, especially in high dimension).
         let inclusion =
-            crate::approximate_mlp(controller, system.domain().bounding_box(), &self.cfg.approx)?;
+            crate::approximate_mlp(controller, system.domain().bounding_box(), &cfg.approx)?;
         if tele.is_recording() {
             tele.gauge("sigma_star", inclusion.sigma_star);
         }
 
         // Step 2: initialize networks per the benchmark's Table 1 shapes.
-        let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, self.cfg.seed);
+        let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, cfg.seed);
         let lambda_net = match &bench.lambda_spec {
             LambdaSpec::Constant => MultiplierNet::constant(-0.5),
-            LambdaSpec::Linear(hidden) => MultiplierNet::linear(n, hidden, self.cfg.seed + 1),
+            LambdaSpec::Linear(hidden) => MultiplierNet::linear(n, hidden, cfg.seed + 1),
         };
-        let mut learner = Learner::new(b_net, lambda_net, self.cfg.learner.clone());
+        let mut learner = Learner::new(b_net, lambda_net, cfg.learner.clone());
         // Sample counts scale with the dimension: the violating region of a
         // failing condition occupies an ever-smaller solid angle as n grows.
-        let batch = self.cfg.batch + 50 * n;
-        let mut sets = TrainingSets::sample(system, batch, self.cfg.seed + 2);
+        let batch = cfg.batch + 50 * n;
+        let sets = TrainingSets::sample(system, batch, cfg.seed + 2);
         let closed_nominal = system.close_loop(&inclusion.h);
         if n >= 6 {
             warm_start_lyapunov(&mut learner, system, &closed_nominal, &sets);
@@ -178,166 +309,210 @@ impl Snbc {
         // with the error variable `w` in slot `n` (w = ±σ* extremes).
         let closed_robust = system.close_loop_with_error(&inclusion.h);
 
-        let mut t_learn = Duration::ZERO;
-        let mut t_cex = Duration::ZERO;
-        let mut t_verify = Duration::ZERO;
-        let mut best_margin = f64::NEG_INFINITY;
-        let mut plateau = 0usize;
+        Ok(CegisEngine {
+            cfg,
+            telemetry: tele,
+            run_span: Some(run_span),
+            t0,
+            system: system.clone(),
+            nn_b_hidden: bench.nn_b_hidden.clone(),
+            lambda_spec: bench.lambda_spec.clone(),
+            inclusion,
+            closed_nominal,
+            closed_robust,
+            learner,
+            sets,
+            batch,
+            t_learn: Duration::ZERO,
+            t_cex: Duration::ZERO,
+            t_verify: Duration::ZERO,
+            best_margin: f64::NEG_INFINITY,
+            plateau: 0,
+            rounds: 0,
+            terminal: None,
+        })
+    }
 
-        for iter in 1..=self.cfg.max_iterations {
-            if t0.elapsed() > self.cfg.time_limit {
-                if tele.is_recording() {
-                    tele.add("iterations", (iter - 1) as u64);
-                    tele.flag("certified", false);
-                }
-                return Err(SnbcError::Timeout {
-                    elapsed: t0.elapsed().as_secs_f64(),
-                });
-            }
-            let round_span = tele.span_indexed("round", iter as u64);
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
 
-            // Learner (step 3 / step 9).
-            let tl = Stopwatch::start();
-            learner.train(&closed_robust, inclusion.sigma_star, &sets);
-            t_learn += tl.elapsed();
-            let b = learner.barrier_polynomial().prune(1e-9);
+    /// The engine's configuration.
+    pub fn config(&self) -> &SnbcConfig {
+        &self.cfg
+    }
 
-            // Verifier (step 5). The multiplier degree follows the
-            // benchmark's NN_λ(x) specification (Table 1): a constant
-            // multiplier shrinks the flow certificate's basis — for the
-            // high-dimensional rows this is the difference between a
-            // 105-row and a 2380-row SDP.
-            let mut vcfg = self.cfg.verifier.clone();
-            if matches!(bench.lambda_spec, LambdaSpec::Constant) {
-                vcfg.lambda_degree = vcfg.lambda_degree.min(0);
-            }
-            let verifier = Verifier::new(system, &inclusion, vcfg);
-            let outcome = verifier.verify(&b);
-            t_verify += outcome.total_time();
+    /// The §3 controller abstraction this engine verifies against.
+    pub fn inclusion(&self) -> &PolynomialInclusion {
+        &self.inclusion
+    }
 
-            if outcome.is_certified() {
-                let lambda = outcome
-                    .flow
-                    .lambda
-                    .clone()
-                    .expect("feasible flow problem returns lambda");
-                drop(round_span);
-                if tele.is_recording() {
-                    tele.add("iterations", iter as u64);
-                    tele.flag("certified", true);
-                }
-                return Ok(SnbcResult {
-                    barrier: b,
-                    lambda,
-                    inclusion,
-                    verification: outcome,
-                    iterations: iter,
-                    t_learn,
-                    t_cex,
-                    t_verify,
-                    t_total: t0.elapsed(),
-                });
-            }
-            best_margin = best_margin
-                .max(outcome.init.margin.min(outcome.unsafe_.margin).min(outcome.flow.margin));
+    /// Whether a terminal status has been reached.
+    pub fn is_finished(&self) -> bool {
+        self.terminal.is_some()
+    }
 
-            // Counterexamples (steps 7–8).
-            let tc = Stopwatch::start();
-            let cex_span = tele.span("cex");
-            let mut added = self.feed_counterexamples(
-                &outcome,
-                &b,
-                &learner,
-                &closed_robust,
-                &inclusion,
-                system,
-                &mut sets,
-                iter,
-            );
-            let mut interval_fallback = false;
-            if added == 0 {
-                // Gradient ascent found no violating sample although SOS
-                // verification failed: fall back to the δ-complete interval
-                // oracle, which finds true violations (or certifies there are
-                // none, in which case the failure is a relaxation gap and
-                // fresh samples sharpen the candidate's margins).
-                interval_fallback = true;
-                added = self.interval_counterexamples(
-                    &outcome,
-                    &b,
-                    &learner,
-                    &closed_robust,
-                    &inclusion,
-                    system,
-                    &mut sets,
-                );
-            }
+    /// Closes the run (telemetry span included) and pins the terminal status.
+    fn finish(&mut self, status: CegisStatus) -> CegisStatus {
+        self.run_span = None;
+        self.terminal = Some(status.clone());
+        status
+    }
+
+    /// Executes one CEGIS round (steps 3–9 of Algorithm 1) and returns the
+    /// resulting status. Terminal statuses are sticky — calling `step` on a
+    /// finished engine returns the same status again without doing work.
+    pub fn step(&mut self) -> CegisStatus {
+        if let Some(t) = &self.terminal {
+            return t.clone();
+        }
+        let tele = self.telemetry.clone();
+        let iter = self.rounds + 1;
+        if iter > self.cfg.max_iterations {
             if tele.is_recording() {
-                tele.add("points", added as u64);
-                tele.flag("interval_fallback", interval_fallback);
+                tele.add("iterations", self.cfg.max_iterations as u64);
+                tele.flag("certified", false);
             }
-            drop(cex_span);
-            t_cex += tc.elapsed();
-            if added == 0 {
-                plateau += 1;
-                if plateau >= self.cfg.reseed_after_plateau {
-                    // Relaxation-gap plateau: restart the learner in a fresh
-                    // basin (new initialization + fresh samples).
-                    plateau = 0;
-                    tele.add("reseeds", 1);
-                    let reseed = self.cfg.seed + 1000 * iter as u64;
-                    let b_net = QuadraticNet::new(n, &bench.nn_b_hidden, reseed);
-                    let lambda_net = match &bench.lambda_spec {
-                        LambdaSpec::Constant => MultiplierNet::constant(-0.5),
-                        LambdaSpec::Linear(hidden) => {
-                            MultiplierNet::linear(n, hidden, reseed + 1)
-                        }
-                    };
-                    learner = Learner::new(b_net, lambda_net, self.cfg.learner.clone());
-                    sets = TrainingSets::sample(system, batch, reseed + 2);
-                    if n >= 6 {
-                        warm_start_lyapunov(&mut learner, system, &closed_nominal, &sets);
-                    }
-                } else {
-                    let extra = TrainingSets::sample(
-                        system,
-                        self.cfg.batch / 4,
-                        self.cfg.seed + 100 + iter as u64,
-                    );
-                    sets.init.extend(extra.init);
-                    sets.unsafe_.extend(extra.unsafe_);
-                    sets.domain.extend(extra.domain);
-                }
-            } else {
-                plateau = 0;
+            return self.finish(CegisStatus::Exhausted {
+                iterations: self.cfg.max_iterations,
+                best_margin: self.best_margin,
+            });
+        }
+        if self.t0.elapsed() > self.cfg.time_limit {
+            if tele.is_recording() {
+                tele.add("iterations", (iter - 1) as u64);
+                tele.flag("certified", false);
             }
+            let elapsed = self.t0.elapsed().as_secs_f64();
+            return self.finish(CegisStatus::TimedOut { elapsed });
+        }
+        let round_span = tele.span_indexed("round", iter as u64);
+
+        // Learner (step 3 / step 9).
+        let tl = Stopwatch::start();
+        self.learner
+            .train(&self.closed_robust, self.inclusion.sigma_star, &self.sets);
+        self.t_learn += tl.elapsed();
+        let b = self.learner.barrier_polynomial().prune(1e-9);
+
+        // Verifier (step 5). The multiplier degree follows the
+        // benchmark's NN_λ(x) specification (Table 1): a constant
+        // multiplier shrinks the flow certificate's basis — for the
+        // high-dimensional rows this is the difference between a
+        // 105-row and a 2380-row SDP.
+        let mut vcfg = self.cfg.verifier.clone();
+        if matches!(self.lambda_spec, LambdaSpec::Constant) {
+            vcfg.lambda_degree = vcfg.lambda_degree.min(0);
+        }
+        let outcome = Verifier::new(&self.system, &self.inclusion, vcfg).verify(&b);
+        self.t_verify += outcome.total_time();
+
+        if outcome.is_certified() {
+            let lambda = outcome
+                .flow
+                .lambda
+                .clone()
+                .expect("feasible flow problem returns lambda");
+            drop(round_span);
+            if tele.is_recording() {
+                tele.add("iterations", iter as u64);
+                tele.flag("certified", true);
+            }
+            self.rounds = iter;
+            let result = SnbcResult {
+                barrier: b,
+                lambda,
+                inclusion: self.inclusion.clone(),
+                verification: outcome,
+                iterations: iter,
+                t_learn: self.t_learn,
+                t_cex: self.t_cex,
+                t_verify: self.t_verify,
+                t_total: self.t0.elapsed(),
+            };
+            return self.finish(CegisStatus::Certified(Box::new(result)));
+        }
+        self.best_margin = self.best_margin.max(
+            outcome
+                .init
+                .margin
+                .min(outcome.unsafe_.margin)
+                .min(outcome.flow.margin),
+        );
+
+        // Counterexamples (steps 7–8).
+        let tc = Stopwatch::start();
+        let cex_span = tele.span("cex");
+        let mut added = self.feed_counterexamples(&outcome, &b, iter);
+        let mut interval_fallback = false;
+        if added == 0 {
+            // Gradient ascent found no violating sample although SOS
+            // verification failed: fall back to the δ-complete interval
+            // oracle, which finds true violations (or certifies there are
+            // none, in which case the failure is a relaxation gap and
+            // fresh samples sharpen the candidate's margins).
+            interval_fallback = true;
+            added = self.interval_counterexamples(&outcome, &b);
         }
         if tele.is_recording() {
-            tele.add("iterations", self.cfg.max_iterations as u64);
-            tele.flag("certified", false);
+            tele.add("points", added as u64);
+            tele.flag("interval_fallback", interval_fallback);
         }
-        Err(SnbcError::IterationsExhausted {
-            iterations: self.cfg.max_iterations,
-            best_margin,
-        })
+        drop(cex_span);
+        self.t_cex += tc.elapsed();
+        if added == 0 {
+            self.plateau += 1;
+            if self.plateau >= self.cfg.reseed_after_plateau {
+                // Relaxation-gap plateau: restart the learner in a fresh
+                // basin (new initialization + fresh samples).
+                self.plateau = 0;
+                tele.add("reseeds", 1);
+                let n = self.system.nvars();
+                let reseed = self.cfg.seed + 1000 * iter as u64;
+                let b_net = QuadraticNet::new(n, &self.nn_b_hidden, reseed);
+                let lambda_net = match &self.lambda_spec {
+                    LambdaSpec::Constant => MultiplierNet::constant(-0.5),
+                    LambdaSpec::Linear(hidden) => MultiplierNet::linear(n, hidden, reseed + 1),
+                };
+                self.learner = Learner::new(b_net, lambda_net, self.cfg.learner.clone());
+                self.sets = TrainingSets::sample(&self.system, self.batch, reseed + 2);
+                if n >= 6 {
+                    warm_start_lyapunov(
+                        &mut self.learner,
+                        &self.system,
+                        &self.closed_nominal,
+                        &self.sets,
+                    );
+                }
+            } else {
+                let extra = TrainingSets::sample(
+                    &self.system,
+                    self.cfg.batch / 4,
+                    self.cfg.seed + 100 + iter as u64,
+                );
+                self.sets.init.extend(extra.init);
+                self.sets.unsafe_.extend(extra.unsafe_);
+                self.sets.domain.extend(extra.domain);
+            }
+        } else {
+            self.plateau = 0;
+        }
+        self.rounds = iter;
+        CegisStatus::InProgress
     }
 
     /// Generates counterexamples for every failed condition and pushes them
     /// into the training sets; returns the number of points added.
-    #[allow(clippy::too_many_arguments)]
     fn feed_counterexamples(
-        &self,
+        &mut self,
         outcome: &VerificationOutcome,
         b: &Polynomial,
-        learner: &Learner,
-        closed_robust: &[Polynomial],
-        inclusion: &PolynomialInclusion,
-        system: &snbc_dynamics::Ccds,
-        sets: &mut TrainingSets,
         iter: usize,
     ) -> usize {
         let mut cfg = self.cfg.cex.clone();
         cfg.seed = self.cfg.cex.seed + iter as u64;
+        let system = &self.system;
         let mut added = 0;
         if !outcome.init.feasible {
             // Violation of (i): v = −B on Θ.
@@ -345,7 +520,7 @@ impl Snbc {
             if let Some(cex) = find_counterexample(&v, system.init(), ViolatedCondition::Init, &cfg)
             {
                 added += cex.points.len();
-                sets.init.extend(cex.points);
+                self.sets.init.extend(cex.points);
             }
         }
         if !outcome.unsafe_.feasible {
@@ -354,19 +529,20 @@ impl Snbc {
                 find_counterexample(b, system.unsafe_set(), ViolatedCondition::Unsafe, &cfg)
             {
                 added += cex.points.len();
-                sets.unsafe_.extend(cex.points);
+                self.sets.unsafe_.extend(cex.points);
             }
         }
         if !outcome.flow.feasible {
             // Violation of (iii): v = −(L_f B − λ̃B) over Ψ × [−σ*, σ*] with
             // the learned λ̃ — the search includes the error coordinate `w`,
             // which is dropped before feeding the point back to `S_D`.
-            let v = flow_violation(b, &learner.lambda_polynomial(), closed_robust);
-            let ext = extended_domain(system, inclusion.sigma_star);
+            let v = flow_violation(b, &self.learner.lambda_polynomial(), &self.closed_robust);
+            let ext = extended_domain(system, self.inclusion.sigma_star);
             if let Some(cex) = find_counterexample(&v, &ext, ViolatedCondition::Flow, &cfg) {
                 let n = system.nvars();
                 added += cex.points.len();
-                sets.domain
+                self.sets
+                    .domain
                     .extend(cex.points.into_iter().map(|mut p| {
                         p.truncate(n);
                         p
@@ -378,17 +554,7 @@ impl Snbc {
 
     /// δ-complete fallback oracle: asks the interval verifier for concrete
     /// violations of each failed condition. Returns points added.
-    #[allow(clippy::too_many_arguments)]
-    fn interval_counterexamples(
-        &self,
-        outcome: &VerificationOutcome,
-        b: &Polynomial,
-        learner: &Learner,
-        closed_robust: &[Polynomial],
-        inclusion: &PolynomialInclusion,
-        system: &snbc_dynamics::Ccds,
-        sets: &mut TrainingSets,
-    ) -> usize {
+    fn interval_counterexamples(&mut self, outcome: &VerificationOutcome, b: &Polynomial) -> usize {
         use snbc_interval::{BranchAndBound, Interval, Verdict};
         let bb = BranchAndBound {
             delta: 1e-3,
@@ -401,11 +567,12 @@ impl Snbc {
                 .map(|&(lo, hi)| Interval::new(lo, hi))
                 .collect()
         };
+        let system = &self.system;
         let mut added = 0;
         if !outcome.init.feasible {
             let r = bb.check_at_least(b, &boxed(system.init()), system.init().polys(), 0.0);
             if let Verdict::Violated { witness, .. } = r.verdict {
-                sets.init.push(witness);
+                self.sets.init.push(witness);
                 added += 1;
             }
         }
@@ -418,21 +585,21 @@ impl Snbc {
                 1e-12,
             );
             if let Verdict::Violated { witness, .. } = r.verdict {
-                sets.unsafe_.push(witness);
+                self.sets.unsafe_.push(witness);
                 added += 1;
             }
         }
         if !outcome.flow.feasible {
-            let lie = lie_derivative(b, closed_robust);
-            let lambda = learner.lambda_polynomial();
+            let lie = lie_derivative(b, &self.closed_robust);
+            let lambda = self.learner.lambda_polynomial();
             let expr = &lie - &(&lambda * b);
             let mut dom = boxed(system.domain());
-            let sigma = inclusion.sigma_star.max(1e-9);
+            let sigma = self.inclusion.sigma_star.max(1e-9);
             dom.push(Interval::new(-sigma, sigma));
             let r = bb.check_at_least(&expr, &dom, system.domain().polys(), 0.0);
             if let Verdict::Violated { mut witness, .. } = r.verdict {
                 witness.truncate(system.nvars());
-                sets.domain.push(witness);
+                self.sets.domain.push(witness);
                 added += 1;
             }
         }
@@ -597,5 +764,43 @@ mod tests {
         for x in bench.system.unsafe_set().sample(20, &mut rng) {
             assert!(result.barrier.eval(&x) < 0.0, "B ≥ 0 on Ξ at {x:?}");
         }
+    }
+
+    /// The step-function exposes the same run round-by-round: stepping an
+    /// engine to completion must produce the same certificate as the
+    /// one-shot driver, and terminal statuses must be sticky.
+    #[test]
+    fn engine_steps_match_one_shot_synthesis() {
+        let bench = benchmarks::benchmark(3);
+        let controller = train_controller(
+            bench.system.domain().bounding_box(),
+            bench.target_law,
+            &ControllerTraining {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
+        let cfg = SnbcConfig {
+            max_iterations: 12,
+            ..Default::default()
+        };
+        let one_shot = Snbc::new(cfg.clone())
+            .synthesize(&bench, &controller)
+            .expect("certificate");
+        let mut engine = Snbc::new(cfg).engine(&bench, &controller).expect("engine");
+        let stepped = loop {
+            match engine.step() {
+                CegisStatus::InProgress => {}
+                CegisStatus::Certified(result) => break *result,
+                other => panic!("expected certification, got {other:?}"),
+            }
+        };
+        assert!(engine.is_finished());
+        assert_eq!(stepped.iterations, one_shot.iterations);
+        assert_eq!(engine.rounds(), stepped.iterations);
+        assert_eq!(stepped.barrier, one_shot.barrier);
+        assert_eq!(stepped.lambda, one_shot.lambda);
+        // Sticky terminal: stepping again returns Certified without work.
+        assert!(engine.step().is_certified());
     }
 }

@@ -77,7 +77,7 @@ mod cegis;
 mod error;
 
 pub use approx::{approximate_controller, approximate_mlp, ApproxOptions, PolynomialInclusion};
-pub use cegis::{Snbc, SnbcConfig, SnbcResult};
+pub use cegis::{CegisEngine, CegisStatus, Snbc, SnbcConfig, SnbcResult};
 pub use certificate::SafetyCertificate;
 pub use falsify::{falsify, CounterexampleTrajectory, FalsifyConfig};
 pub use cex::{CexConfig, Counterexample, ViolatedCondition};

@@ -1,0 +1,391 @@
+//! Content-addressed on-disk certificate cache.
+//!
+//! A cache entry is keyed by the canonical compact JSON (`snbc-cache-key/1`)
+//! of everything that determines a race's outcome bit-for-bit: the system
+//! (name, dimension, vector field, set constraints and boxes), the trained
+//! controller (layer sizes, activation, an FNV fingerprint of the exact
+//! parameter bits), every deterministic configuration knob, the candidate
+//! grid, and the solver version. `time_limit` is deliberately **excluded**:
+//! it can change *whether* a run finishes, never *what* it produces, and the
+//! cache only ever stores certified outcomes.
+//!
+//! The key text is hashed (two independent 64-bit FNV-1a passes → 32 hex
+//! characters) into a directory name holding three artifacts:
+//!
+//! ```text
+//! <cache>/<hash>/key.json          # the canonical key, for collision checks
+//! <cache>/<hash>/result.json       # the job result (snbc-batch-report/1 shape)
+//! <cache>/<hash>/certificate.txt   # the SafetyCertificate, human-readable
+//! ```
+//!
+//! A lookup re-reads `key.json` and compares it byte-for-byte with the
+//! probe's canonical text, so even a full 128-bit hash collision degrades to
+//! a cache miss, never to a wrong certificate.
+
+use std::path::{Path, PathBuf};
+
+use snbc::SnbcConfig;
+use snbc_dynamics::{Ccds, SemiAlgebraicSet};
+use snbc_nn::Mlp;
+use snbc_telemetry::json::Value;
+
+use crate::grid::ConfigGrid;
+use crate::jobs::BatchError;
+
+/// Schema tag of the canonical key document.
+pub const KEY_SCHEMA: &str = "snbc-cache-key/1";
+
+/// A fully resolved cache key: the canonical JSON text plus its hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    canonical: String,
+    hash: String,
+}
+
+impl CacheKey {
+    /// Builds the key for racing `grid` over `system` under `controller` and
+    /// `base` — see the module docs for exactly what is hashed.
+    pub fn new(system: &Ccds, controller: &Mlp, base: &SnbcConfig, grid: &ConfigGrid) -> CacheKey {
+        let canonical = key_json(system, controller, base, grid).to_compact_string();
+        let hash = hash128_hex(canonical.as_bytes());
+        CacheKey { canonical, hash }
+    }
+
+    /// The canonical `snbc-cache-key/1` JSON text.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 32-hex-character content hash (the cache directory name).
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+}
+
+/// The on-disk cache: a directory of content-addressed entries.
+#[derive(Debug, Clone)]
+pub struct CertificateCache {
+    dir: PathBuf,
+}
+
+/// A cached entry, as returned by [`CertificateCache::lookup`].
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The stored `result.json` text.
+    pub result_json: String,
+    /// The stored certificate text, when the entry has one.
+    pub certificate: Option<String>,
+}
+
+impl CertificateCache {
+    /// Opens (lazily — no I/O happens here) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> CertificateCache {
+        CertificateCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks `key` up. Any failure — missing entry, unreadable files, or a
+    /// key-byte mismatch (hash collision) — is reported as a miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CachedEntry> {
+        let entry = self.dir.join(key.hash());
+        let stored_key = std::fs::read_to_string(entry.join("key.json")).ok()?;
+        if stored_key != key.canonical() {
+            return None;
+        }
+        let result_json = std::fs::read_to_string(entry.join("result.json")).ok()?;
+        let certificate = std::fs::read_to_string(entry.join("certificate.txt")).ok();
+        Some(CachedEntry {
+            result_json,
+            certificate,
+        })
+    }
+
+    /// Stores a result (and its certificate, when present) under `key`,
+    /// creating the entry directory as needed. Overwrites any prior entry
+    /// with the same key — entries are content-addressed, so the bytes can
+    /// only be replaced by equivalent bytes.
+    pub fn store(
+        &self,
+        key: &CacheKey,
+        result_json: &str,
+        certificate: Option<&str>,
+    ) -> Result<(), BatchError> {
+        let entry = self.dir.join(key.hash());
+        let io = |path: &Path, e: std::io::Error| BatchError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::create_dir_all(&entry).map_err(|e| io(&entry, e))?;
+        let key_path = entry.join("key.json");
+        std::fs::write(&key_path, key.canonical()).map_err(|e| io(&key_path, e))?;
+        let result_path = entry.join("result.json");
+        std::fs::write(&result_path, result_json).map_err(|e| io(&result_path, e))?;
+        if let Some(cert) = certificate {
+            let cert_path = entry.join("certificate.txt");
+            std::fs::write(&cert_path, cert).map_err(|e| io(&cert_path, e))?;
+        }
+        Ok(())
+    }
+}
+
+/// The canonical key document. Every `f64` knob is encoded as its exact IEEE
+/// bit pattern (`f64::to_bits`) so the text never depends on float
+/// formatting; human-readable floats appear only in display artifacts.
+fn key_json(system: &Ccds, controller: &Mlp, base: &SnbcConfig, grid: &ConfigGrid) -> Value {
+    Value::Obj(vec![
+        ("schema".to_string(), Value::Str(KEY_SCHEMA.to_string())),
+        (
+            "solver".to_string(),
+            Value::Obj(vec![(
+                "snbc_version".to_string(),
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            )]),
+        ),
+        ("system".to_string(), system_json(system)),
+        ("controller".to_string(), controller_json(controller)),
+        ("config".to_string(), config_json(base)),
+        ("grid".to_string(), grid.to_json()),
+    ])
+}
+
+fn system_json(system: &Ccds) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str(system.name().to_string())),
+        ("nvars".to_string(), Value::Int(system.nvars() as u64)),
+        (
+            "field".to_string(),
+            Value::Arr(
+                system
+                    .field()
+                    .iter()
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("init".to_string(), set_json(system.init())),
+        ("domain".to_string(), set_json(system.domain())),
+        ("unsafe".to_string(), set_json(system.unsafe_set())),
+    ])
+}
+
+fn set_json(set: &SemiAlgebraicSet) -> Value {
+    Value::Obj(vec![
+        (
+            "polys".to_string(),
+            Value::Arr(
+                set.polys()
+                    .iter()
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "box".to_string(),
+            Value::Arr(
+                set.bounding_box()
+                    .iter()
+                    .flat_map(|&(lo, hi)| [Value::Int(lo.to_bits()), Value::Int(hi.to_bits())])
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn controller_json(controller: &Mlp) -> Value {
+    Value::Obj(vec![
+        (
+            "layers".to_string(),
+            Value::Arr(
+                controller
+                    .layer_sizes()
+                    .iter()
+                    .map(|&s| Value::Int(s as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "activation".to_string(),
+            Value::Str(format!("{:?}", controller.activation())),
+        ),
+        (
+            "params_fnv".to_string(),
+            Value::Str(format!("{:016x}", fnv1a64(FNV_OFFSET_A, &param_bytes(controller)))),
+        ),
+        (
+            "params_len".to_string(),
+            Value::Int(controller.params().len() as u64),
+        ),
+    ])
+}
+
+fn param_bytes(controller: &Mlp) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(controller.params().len() * 8);
+    for &p in controller.params() {
+        bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+fn config_json(cfg: &SnbcConfig) -> Value {
+    let bits = |f: f64| Value::Int(f.to_bits());
+    Value::Obj(vec![
+        ("batch".to_string(), Value::Int(cfg.batch as u64)),
+        (
+            "max_iterations".to_string(),
+            Value::Int(cfg.max_iterations as u64),
+        ),
+        (
+            "reseed_after_plateau".to_string(),
+            Value::Int(cfg.reseed_after_plateau as u64),
+        ),
+        ("seed".to_string(), Value::Int(cfg.seed)),
+        (
+            "approx".to_string(),
+            Value::Obj(vec![
+                ("degree".to_string(), Value::Int(u64::from(cfg.approx.degree))),
+                ("mesh_spacing".to_string(), bits(cfg.approx.mesh_spacing)),
+                (
+                    "max_mesh_points".to_string(),
+                    Value::Int(cfg.approx.max_mesh_points as u64),
+                ),
+            ]),
+        ),
+        (
+            "learner".to_string(),
+            Value::Obj(vec![
+                ("learning_rate".to_string(), bits(cfg.learner.learning_rate)),
+                ("epochs".to_string(), Value::Int(cfg.learner.epochs as u64)),
+                ("epsilon".to_string(), bits(cfg.learner.epsilon)),
+                ("leaky_slope".to_string(), bits(cfg.learner.leaky_slope)),
+                ("weight_init".to_string(), bits(cfg.learner.weights.0)),
+                ("weight_unsafe".to_string(), bits(cfg.learner.weights.1)),
+                ("weight_flow".to_string(), bits(cfg.learner.weights.2)),
+                ("loss_target".to_string(), bits(cfg.learner.loss_target)),
+                ("weight_decay".to_string(), bits(cfg.learner.weight_decay)),
+            ]),
+        ),
+        (
+            "verifier".to_string(),
+            Value::Obj(vec![
+                (
+                    "multiplier_degree".to_string(),
+                    Value::Int(u64::from(cfg.verifier.multiplier_degree)),
+                ),
+                (
+                    "lambda_degree".to_string(),
+                    Value::Int(u64::from(cfg.verifier.lambda_degree)),
+                ),
+                ("epsilon1".to_string(), bits(cfg.verifier.epsilon1)),
+                ("epsilon2".to_string(), bits(cfg.verifier.epsilon2)),
+            ]),
+        ),
+        (
+            "cex".to_string(),
+            Value::Obj(vec![
+                ("restarts".to_string(), Value::Int(cfg.cex.restarts as u64)),
+                ("steps".to_string(), Value::Int(cfg.cex.steps as u64)),
+                ("step_size".to_string(), bits(cfg.cex.step_size)),
+                (
+                    "ball_samples".to_string(),
+                    Value::Int(cfg.cex.ball_samples as u64),
+                ),
+                ("seed".to_string(), Value::Int(cfg.cex.seed)),
+            ]),
+        ),
+    ])
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128 hash bits as 32 hex characters: two FNV-1a passes over the same
+/// bytes from independent offset bases. Not cryptographic — the byte-exact
+/// `key.json` comparison in [`CertificateCache::lookup`] is the correctness
+/// guarantee; the hash only spreads entries across directories.
+fn hash128_hex(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(FNV_OFFSET_A, bytes),
+        fnv1a64(FNV_OFFSET_B, bytes)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snbc_dynamics::benchmarks;
+    use snbc_nn::{train_controller, ControllerTraining};
+
+    fn c3_key(seed_axis: Vec<u64>) -> CacheKey {
+        let bench = benchmarks::benchmark(3);
+        let controller = train_controller(
+            bench.system.domain().bounding_box(),
+            bench.target_law,
+            &ControllerTraining {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        let grid = ConfigGrid {
+            seeds: seed_axis,
+            ..Default::default()
+        };
+        CacheKey::new(&bench.system, &controller, &SnbcConfig::default(), &grid)
+    }
+
+    #[test]
+    fn key_is_stable_and_grid_sensitive() {
+        let a = c3_key(vec![1, 2]);
+        let b = c3_key(vec![1, 2]);
+        let c = c3_key(vec![2, 1]);
+        assert_eq!(a, b, "same inputs, same canonical key");
+        assert_ne!(a.hash(), c.hash(), "axis order is part of the key");
+        assert_eq!(a.hash().len(), 32);
+        assert!(a.canonical().starts_with("{\"schema\":\"snbc-cache-key/1\""));
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let key = c3_key(vec![1]);
+        let dir = std::env::temp_dir().join(format!("snbc-cache-test-{}", key.hash()));
+        let cache = CertificateCache::new(&dir);
+        assert!(cache.lookup(&key).is_none(), "cold cache misses");
+        cache
+            .store(&key, "{\"certified\":true}", Some("certificate body"))
+            .unwrap();
+        let hit = cache.lookup(&key).expect("warm cache hits");
+        assert_eq!(hit.result_json, "{\"certified\":true}");
+        assert_eq!(hit.certificate.as_deref(), Some("certificate body"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn collision_with_different_key_bytes_is_a_miss() {
+        let key = c3_key(vec![1]);
+        let other = c3_key(vec![1, 2]);
+        let dir = std::env::temp_dir().join(format!("snbc-cache-test-x-{}", key.hash()));
+        let cache = CertificateCache::new(&dir);
+        cache.store(&key, "{}", None).unwrap();
+        // Forge a directory under `other`'s hash holding `key`'s key bytes.
+        let forged = dir.join(other.hash());
+        std::fs::create_dir_all(&forged).unwrap();
+        std::fs::write(forged.join("key.json"), key.canonical()).unwrap();
+        std::fs::write(forged.join("result.json"), "{}").unwrap();
+        assert!(cache.lookup(&other).is_none(), "key bytes must match exactly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -214,6 +214,22 @@ pub struct Report {
 }
 
 impl Report {
+    /// All `"job"` spans in the tree (the portfolio batch service records
+    /// one per batch job), in recording order.
+    pub fn jobs(&self) -> Vec<&SpanNode> {
+        fn walk<'a>(n: &'a SpanNode, out: &mut Vec<&'a SpanNode>) {
+            if n.name == "job" {
+                out.push(n);
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
     /// All `"round"` spans in the tree, in recording order.
     pub fn rounds(&self) -> Vec<&SpanNode> {
         fn walk<'a>(n: &'a SpanNode, out: &mut Vec<&'a SpanNode>) {
@@ -306,6 +322,45 @@ pub fn render_round_table(report: &Report) -> String {
             learn.map_or_else(|| "-".to_string(), |l| format!("{:.2}s", l.elapsed_s)),
             verify.map_or_else(|| "-".to_string(), |v| format!("{:.2}s", v.elapsed_s)),
             cex.map_or_else(|| "-".to_string(), |c| format!("{:.2}s", c.elapsed_s)),
+        );
+        out.push_str(&row);
+    }
+    let jobs = report.jobs();
+    if !jobs.is_empty() {
+        out.push('\n');
+        out.push_str(&render_job_table(&jobs));
+    }
+    out
+}
+
+/// Renders the per-job batch table (one row per `job` span recorded by the
+/// portfolio batch service): cache disposition, candidates raced, the
+/// deterministic winner index, and wave count. Cache hits race nothing, so
+/// their racing columns render as `-`.
+fn render_job_table(jobs: &[&SpanNode]) -> String {
+    let mut out = String::new();
+    out.push_str("  job  name                  cache  cands  winner  waves\n");
+    for (i, job) in jobs.iter().enumerate() {
+        let race = job.child("race");
+        let race_counter = |name: &str| -> String {
+            race.and_then(|r| r.counter(name))
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        };
+        let cache = if job.counter("cache_hit").is_some() {
+            "hit"
+        } else if job.counter("cache_miss").is_some() {
+            "miss"
+        } else {
+            "-"
+        };
+        let row = format!(
+            "{:>5}  {:<20}  {:>5}  {:>5}  {:>6}  {:>5}\n",
+            job.index.unwrap_or(i as u64),
+            job.label("name").unwrap_or("-"),
+            cache,
+            race_counter("candidates_launched"),
+            race_counter("race_winner_index"),
+            race_counter("waves"),
         );
         out.push_str(&row);
     }
@@ -482,5 +537,71 @@ mod tests {
         assert!(row.contains("+1.500e-2"), "{row}");
         assert!(row.contains("32"), "{row}");
         assert!(row.contains("2.10e-1"), "{row}");
+        // No batch jobs in this report — no job table.
+        assert!(!table.contains("cands"), "{table}");
+    }
+
+    #[test]
+    fn round_table_appends_the_batch_job_table() {
+        let raced = SpanNode {
+            name: "job".to_string(),
+            index: Some(0),
+            trace_id: None,
+            elapsed_s: 2.0,
+            counters: vec![("cache_miss".to_string(), 1)],
+            gauges: vec![],
+            labels: vec![("name".to_string(), "c3-a".to_string())],
+            children: vec![SpanNode {
+                name: "race".to_string(),
+                index: None,
+                trace_id: None,
+                elapsed_s: 1.9,
+                counters: vec![
+                    ("candidates_launched".to_string(), 2),
+                    ("waves".to_string(), 3),
+                    ("race_winner_index".to_string(), 1),
+                ],
+                gauges: vec![],
+                labels: vec![],
+                children: vec![],
+            }],
+        };
+        let hit = SpanNode {
+            name: "job".to_string(),
+            index: Some(1),
+            trace_id: None,
+            elapsed_s: 0.01,
+            counters: vec![("cache_hit".to_string(), 1)],
+            gauges: vec![],
+            labels: vec![("name".to_string(), "c3-b".to_string())],
+            children: vec![],
+        };
+        let mut rep = sample_report();
+        rep.root.children.push(SpanNode {
+            name: "batch".to_string(),
+            index: None,
+            trace_id: None,
+            elapsed_s: 2.1,
+            counters: vec![],
+            gauges: vec![],
+            labels: vec![],
+            children: vec![raced, hit],
+        });
+        assert_eq!(rep.jobs().len(), 2);
+        let table = render_round_table(&rep);
+        let job_rows: Vec<&str> = table
+            .lines()
+            .skip_while(|l| !l.contains("cands"))
+            .collect();
+        assert_eq!(job_rows.len(), 3, "{table}");
+        assert!(job_rows[1].contains("c3-a"), "{table}");
+        assert!(job_rows[1].contains("miss"), "{table}");
+        let cols: Vec<&str> = job_rows[1].split_whitespace().collect();
+        assert_eq!(cols, ["0", "c3-a", "miss", "2", "1", "3"], "{table}");
+        assert_eq!(
+            job_rows[2].split_whitespace().collect::<Vec<_>>(),
+            ["1", "c3-b", "hit", "-", "-", "-"],
+            "{table}"
+        );
     }
 }

@@ -1,0 +1,91 @@
+//! The portfolio determinism contract (docs/PORTFOLIO.md): the same job set
+//! must produce byte-identical certificates, winner indices, and
+//! `snbc-batch-report/1` documents at `SNBC_THREADS=1` and `SNBC_THREADS=4`,
+//! and again when every job is served from a warm cache instead of racing.
+//!
+//! A single `#[test]` drives all three legs because `snbc_par::set_threads`
+//! is process-global — parallel test functions would race on it (the same
+//! shape as `tests/par_determinism.rs`).
+
+use snbc::SnbcConfig;
+use snbc_dynamics::benchmarks::Benchmark;
+use snbc_nn::Mlp;
+use snbc_portfolio::{run_batch, BatchOptions, BatchOutcome, BatchSpec};
+use snbc_telemetry::Telemetry;
+
+const JOBS: &str = r#"{
+    "schema": "snbc-batch-jobs/1",
+    "jobs": [
+        {"name": "c3-race", "benchmark": 3, "grid": {"seeds": [1, 2]},
+         "max_iterations": 12, "controller_epochs": 300}
+    ]
+}"#;
+
+fn run_legs(spec: &BatchSpec, cache_dir: &std::path::Path) -> BatchOutcome {
+    let resolve = |path: &str| -> Result<(Benchmark, Mlp), String> {
+        Err(format!("benchmark jobs only, got `{path}`"))
+    };
+    let opts = BatchOptions {
+        base: SnbcConfig::default(),
+        cache_dir: Some(cache_dir.to_path_buf()),
+    };
+    run_batch(spec, &opts, &resolve, &Telemetry::off(), |_, _| {}).expect("batch runs")
+}
+
+#[test]
+fn batch_is_deterministic_across_threads_and_cache_temperature() {
+    let spec = BatchSpec::parse(JOBS).expect("fixed jobs document parses");
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("portfolio-determinism");
+    let dir_a = root.join("threads-1");
+    let dir_b = root.join("threads-4");
+    for dir in [&dir_a, &dir_b] {
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).expect("wipe scratch cache");
+        }
+    }
+
+    // Leg 1: cold cache, one worker thread.
+    snbc_par::set_threads(Some(1));
+    let t1_cold = run_legs(&spec, &dir_a);
+    // Leg 2: cold cache (separate directory), four worker threads.
+    snbc_par::set_threads(Some(4));
+    let t4_cold = run_legs(&spec, &dir_b);
+    // Leg 3: warm cache from leg 1, still four threads.
+    let t1_warm = run_legs(&spec, &dir_a);
+    snbc_par::set_threads(None);
+
+    assert_eq!(t1_cold.misses(), 1, "leg 1 must race");
+    assert_eq!(t4_cold.misses(), 1, "leg 2 must race");
+    assert_eq!(t1_warm.hits(), 1, "leg 3 must be a pure cache lookup");
+
+    // The batch reports are byte-identical across thread counts and cache
+    // temperature — the `snbc-batch-report/1` schema carries no timings,
+    // paths, or hit/miss flags precisely so this holds.
+    let report = t1_cold.report_json();
+    assert_eq!(report, t4_cold.report_json(), "reports differ across thread counts");
+    assert_eq!(report, t1_warm.report_json(), "reports differ across cache temperature");
+
+    // And the individual verdicts agree field-by-field, not just textually.
+    for (leg, outcome) in [("t4-cold", &t4_cold), ("t1-warm", &t1_warm)] {
+        for (a, b) in t1_cold.jobs.iter().zip(&outcome.jobs) {
+            assert_eq!(a.key.hash(), b.key.hash(), "{leg}: cache keys differ");
+            assert_eq!(
+                a.result.winner_index, b.result.winner_index,
+                "{leg}: winner index differs"
+            );
+            assert_eq!(
+                a.result.certificate, b.result.certificate,
+                "{leg}: certificate bytes differ"
+            );
+        }
+    }
+    let winner = t1_cold.jobs[0]
+        .result
+        .winner_index
+        .expect("the c3 race certifies");
+    assert!(winner < 2, "winner index is a grid position");
+    assert!(
+        t1_cold.jobs[0].result.certificate.is_some(),
+        "certified job carries its certificate text"
+    );
+}
