@@ -117,6 +117,13 @@ pub enum CegisStatus {
         best_margin: f64,
     },
     /// The wall-clock budget tripped (the paper's OT).
+    ///
+    /// This status is inherently machine- and load-dependent: whether an
+    /// engine trips it near `time_limit` depends on how fast the host is.
+    /// The portfolio racer therefore neutralizes `time_limit` and budgets
+    /// candidates by round count alone, so race outcomes stay bitwise
+    /// deterministic; `TimedOut` is a solo-run (one-shot `synthesize`)
+    /// contract.
     TimedOut {
         /// Elapsed seconds at the trip point.
         elapsed: f64,

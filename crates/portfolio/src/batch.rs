@@ -208,7 +208,9 @@ impl BatchOutcome {
 /// cache key, serve from the cache when the key is present (with the stored
 /// certificate re-parsed as an integrity check — a corrupt entry degrades
 /// to a live race, never to a bad answer), otherwise race the grid and
-/// store the outcome. `progress` is called with each job's index as it
+/// store the outcome when it certifies (failures are never cached, so a
+/// rerun under a larger budget can still succeed). `progress` is called
+/// with each job's index as it
 /// finishes; telemetry gains a `batch` span with one indexed `job` span per
 /// job carrying the `cache_hit`/`cache_miss` counters.
 pub fn run_batch(
@@ -304,12 +306,17 @@ fn run_job(
             certificate: None,
         },
     };
-    if let Some(cache) = cache {
-        cache.store(
-            &key,
-            &result.to_json().to_pretty_string(),
-            result.certificate.as_deref(),
-        )?;
+    // Only certified outcomes enter the cache: the key deliberately excludes
+    // `time_limit`, so a failure (which may be budget-dependent) must never
+    // be pinned — a later run under a larger budget gets to race again.
+    if result.certified {
+        if let Some(cache) = cache {
+            cache.store(
+                &key,
+                &result.to_json().to_pretty_string(),
+                result.certificate.as_deref(),
+            )?;
+        }
     }
     Ok(JobOutcome {
         name: job.name.clone(),
@@ -320,18 +327,20 @@ fn run_job(
 }
 
 /// Reads and validates a cached entry; any defect — unparseable JSON, a
+/// non-certified result (only certified outcomes are ever stored), a
 /// result/certificate mismatch, or a certificate that fails to re-parse —
 /// makes this a miss.
 fn cached_result(cache: &CertificateCache, key: &CacheKey) -> Option<JobResult> {
     let entry = cache.lookup(key)?;
     let value = json::parse(&entry.result_json).ok()?;
     let result = JobResult::from_json(&value).ok()?;
-    if let Some(cert_text) = &result.certificate {
-        let parsed: SafetyCertificate = cert_text.parse().ok()?;
-        drop(parsed);
-        if entry.certificate.as_deref() != Some(cert_text.as_str()) {
-            return None;
-        }
+    if !result.certified {
+        return None;
+    }
+    let cert_text = result.certificate.as_deref()?;
+    let _reparsed: SafetyCertificate = cert_text.parse().ok()?;
+    if entry.certificate.as_deref() != Some(cert_text) {
+        return None;
     }
     Some(result)
 }
@@ -371,6 +380,48 @@ mod tests {
         };
         let back = JobResult::from_json(&failed.to_json()).unwrap();
         assert_eq!(back, failed);
+    }
+
+    /// A `certified: false` result in the cache (e.g. written by a pre-fix
+    /// build, or forged) must read as a miss: the cache key excludes
+    /// `time_limit`, so serving a stored failure would pin a potentially
+    /// budget-dependent negative forever.
+    #[test]
+    fn cached_failures_are_never_served() {
+        let bench = benchmarks::benchmark(1);
+        let controller = train_controller(
+            bench.system.domain().bounding_box(),
+            bench.target_law,
+            &ControllerTraining {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        let key = CacheKey::new(
+            &bench.system,
+            &controller,
+            &SnbcConfig::default(),
+            &crate::grid::ConfigGrid::default(),
+        );
+        let failed = JobResult {
+            certified: false,
+            candidates: 2,
+            waves: 14,
+            winner_index: None,
+            winner: None,
+            iterations: None,
+            certificate: None,
+        };
+        let dir = std::env::temp_dir().join(format!("snbc-batch-test-{}", key.hash()));
+        let cache = CertificateCache::new(&dir);
+        cache
+            .store(&key, &failed.to_json().to_pretty_string(), None)
+            .unwrap();
+        assert!(
+            cached_result(&cache, &key).is_none(),
+            "non-certified entries must degrade to a miss"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

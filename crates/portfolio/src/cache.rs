@@ -3,11 +3,13 @@
 //! A cache entry is keyed by the canonical compact JSON (`snbc-cache-key/1`)
 //! of everything that determines a race's outcome bit-for-bit: the system
 //! (name, dimension, vector field, set constraints and boxes), the trained
-//! controller (layer sizes, activation, an FNV fingerprint of the exact
-//! parameter bits), every deterministic configuration knob, the candidate
-//! grid, and the solver version. `time_limit` is deliberately **excluded**:
-//! it can change *whether* a run finishes, never *what* it produces, and the
-//! cache only ever stores certified outcomes.
+//! controller (layer sizes, activation, and the **exact parameter bit
+//! stream** — every weight as its IEEE-754 bit pattern, so the byte-exact
+//! `key.json` comparison below covers controller identity in full), every
+//! deterministic configuration knob, the candidate grid, and the solver
+//! version. `time_limit` is deliberately **excluded**: it can change
+//! *whether* a run finishes, never *what* it produces, and the cache only
+//! ever stores certified outcomes.
 //!
 //! The key text is hashed (two independent 64-bit FNV-1a passes → 32 hex
 //! characters) into a directory name holding three artifacts:
@@ -20,7 +22,10 @@
 //!
 //! A lookup re-reads `key.json` and compares it byte-for-byte with the
 //! probe's canonical text, so even a full 128-bit hash collision degrades to
-//! a cache miss, never to a wrong certificate.
+//! a cache miss, never to a wrong certificate. Entries are staged in a
+//! sibling temp directory and published with a single atomic `rename`, so
+//! concurrent batch runs sharing a cache dir (and crashes mid-store) can
+//! never expose a torn entry.
 
 use std::path::{Path, PathBuf};
 
@@ -104,31 +109,74 @@ impl CertificateCache {
         })
     }
 
-    /// Stores a result (and its certificate, when present) under `key`,
-    /// creating the entry directory as needed. Overwrites any prior entry
-    /// with the same key — entries are content-addressed, so the bytes can
-    /// only be replaced by equivalent bytes.
+    /// Stores a result (and its certificate, when present) under `key`.
+    ///
+    /// The entry is written into a private temp directory and published with
+    /// one atomic `rename`, so a reader (or a crash) can never observe a
+    /// torn entry — `key.json` present with `result.json` half-written.
+    /// When an entry already exists (a concurrent `snbc batch` sharing the
+    /// cache dir, or a stale entry that failed validation and triggered a
+    /// re-race), it is replaced; losing that swap to another writer is fine,
+    /// because entries are content-addressed and the bytes can only be
+    /// replaced by equivalent bytes.
     pub fn store(
         &self,
         key: &CacheKey,
         result_json: &str,
         certificate: Option<&str>,
     ) -> Result<(), BatchError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
         let entry = self.dir.join(key.hash());
         let io = |path: &Path, e: std::io::Error| BatchError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
         };
-        std::fs::create_dir_all(&entry).map_err(|e| io(&entry, e))?;
-        let key_path = entry.join("key.json");
-        std::fs::write(&key_path, key.canonical()).map_err(|e| io(&key_path, e))?;
-        let result_path = entry.join("result.json");
-        std::fs::write(&result_path, result_json).map_err(|e| io(&result_path, e))?;
-        if let Some(cert) = certificate {
-            let cert_path = entry.join("certificate.txt");
-            std::fs::write(&cert_path, cert).map_err(|e| io(&cert_path, e))?;
+        // Unique per process × call, so two writers never share a staging dir.
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            key.hash(),
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&tmp).map_err(|e| io(&tmp, e))?;
+        let staged = (|| -> Result<(), BatchError> {
+            let key_path = tmp.join("key.json");
+            std::fs::write(&key_path, key.canonical()).map_err(|e| io(&key_path, e))?;
+            let result_path = tmp.join("result.json");
+            std::fs::write(&result_path, result_json).map_err(|e| io(&result_path, e))?;
+            if let Some(cert) = certificate {
+                let cert_path = tmp.join("certificate.txt");
+                std::fs::write(&cert_path, cert).map_err(|e| io(&cert_path, e))?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            // Best-effort teardown: the staging failure is the real error.
+            let _ = std::fs::remove_dir_all(&tmp); // audit:allow(swallowed-result)
+            return Err(e);
         }
-        Ok(())
+        if std::fs::rename(&tmp, &entry).is_ok() {
+            return Ok(());
+        }
+        // The entry path is occupied (renaming a directory onto a non-empty
+        // one fails). Clear it and retry once; if another writer repopulates
+        // it first, accept their equivalent entry and discard ours. The
+        // retried rename reports any failure that matters here.
+        let _ = std::fs::remove_dir_all(&entry); // audit:allow(swallowed-result)
+        match std::fs::rename(&tmp, &entry) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Best-effort teardown of the losing staging dir.
+                let _ = std::fs::remove_dir_all(&tmp); // audit:allow(swallowed-result)
+                if entry.join("key.json").is_file() {
+                    Ok(())
+                } else {
+                    Err(io(&entry, e))
+                }
+            }
+        }
     }
 }
 
@@ -211,23 +259,22 @@ fn controller_json(controller: &Mlp) -> Value {
             "activation".to_string(),
             Value::Str(format!("{:?}", controller.activation())),
         ),
+        // The complete parameter stream, bit-exact. A digest here would
+        // punch a hole in the `key.json` byte-compare collision guard: two
+        // controllers with colliding digests would key identically and a
+        // wrong certificate could be served. Controllers are small MLPs, so
+        // the full stream costs little and closes that hole.
         (
-            "params_fnv".to_string(),
-            Value::Str(format!("{:016x}", fnv1a64(FNV_OFFSET_A, &param_bytes(controller)))),
-        ),
-        (
-            "params_len".to_string(),
-            Value::Int(controller.params().len() as u64),
+            "params".to_string(),
+            Value::Arr(
+                controller
+                    .params()
+                    .iter()
+                    .map(|&p| Value::Int(p.to_bits()))
+                    .collect(),
+            ),
         ),
     ])
-}
-
-fn param_bytes(controller: &Mlp) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(controller.params().len() * 8);
-    for &p in controller.params() {
-        bytes.extend_from_slice(&p.to_bits().to_le_bytes());
-    }
-    bytes
 }
 
 fn config_json(cfg: &SnbcConfig) -> Value {
@@ -356,6 +403,31 @@ mod tests {
         assert_ne!(a.hash(), c.hash(), "axis order is part of the key");
         assert_eq!(a.hash().len(), 32);
         assert!(a.canonical().starts_with("{\"schema\":\"snbc-cache-key/1\""));
+    }
+
+    /// Any single differing parameter bit must change the canonical key:
+    /// controller identity is covered by the byte-exact `key.json`
+    /// comparison itself, not by a collision-prone digest.
+    #[test]
+    fn key_covers_the_full_controller_parameter_stream() {
+        let bench = benchmarks::benchmark(3);
+        let controller = train_controller(
+            bench.system.domain().bounding_box(),
+            bench.target_law,
+            &ControllerTraining {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        let mut tweaked = controller.clone();
+        let mut params = tweaked.params().to_vec();
+        params[0] = f64::from_bits(params[0].to_bits() ^ 1);
+        tweaked.set_params(&params);
+        let grid = ConfigGrid::default();
+        let a = CacheKey::new(&bench.system, &controller, &SnbcConfig::default(), &grid);
+        let b = CacheKey::new(&bench.system, &tweaked, &SnbcConfig::default(), &grid);
+        assert_ne!(a.canonical(), b.canonical(), "one flipped bit must re-key");
+        assert_ne!(a.hash(), b.hash());
     }
 
     #[test]

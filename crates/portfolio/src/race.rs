@@ -19,6 +19,14 @@
 //! candidate that certifies in a later wave than another can never win over
 //! it, and within a wave the index decides.
 //!
+//! To keep that contract load-invariant, racing candidates are budgeted by
+//! **round count only**: the base config's wall-clock `time_limit` is
+//! neutralized per candidate (a slow machine must not flip a candidate from
+//! `InProgress` to `TimedOut` and change the winner), and `max_iterations`
+//! — which also caps the wave loop — is the deterministic budget. The
+//! one-shot [`Snbc::synthesize`] timeout contract is unchanged outside the
+//! racer.
+//!
 //! # Telemetry
 //!
 //! Each candidate records into its own [`Telemetry::fork`] so concurrent
@@ -111,7 +119,9 @@ impl Candidate {
 /// Races the grid's candidates on a benchmark with its pre-trained
 /// controller and returns the deterministic winner (lowest grid index among
 /// the candidates certified at the end of the settling wave), or `None` when
-/// every candidate exhausts, times out, or fails setup.
+/// every candidate exhausts its iteration budget or fails setup. The base
+/// config's wall-clock `time_limit` is neutralized per candidate — racing
+/// budgets by deterministic round count, see the module docs.
 ///
 /// Records a `race` span on `telemetry` carrying `candidates_launched`,
 /// `waves`, and (when a winner exists) `race_winner_index`, with the
@@ -127,10 +137,19 @@ pub fn race(
     let mut candidates: Vec<Candidate> = grid
         .expand()
         .into_iter()
-        .map(|cfg| Candidate {
-            tele: telemetry.fork(),
-            lane: Lane::Pending(Box::new(cfg.apply(base))),
-            cfg,
+        .map(|cfg| {
+            // Budget by round count only: a wall-clock limit is machine- and
+            // load-dependent, so a candidate tripping `TimedOut` near the
+            // budget could flip the winner between runs and break the
+            // bitwise-determinism contract. `max_iterations` (which also
+            // caps the wave loop below) is the racing budget.
+            let mut applied = cfg.apply(base);
+            applied.time_limit = std::time::Duration::MAX;
+            Candidate {
+                tele: telemetry.fork(),
+                lane: Lane::Pending(Box::new(applied)),
+                cfg,
+            }
         })
         .collect();
     let launched = candidates.len();
