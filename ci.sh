@@ -74,15 +74,41 @@ echo "==> snbc-bench check --suite portfolio (racing + cache regression gate)"
 SNBC_THREADS=1 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite portfolio
 SNBC_THREADS=4 cargo run -q --release -p snbc-bench --bin snbc-bench -- check --suite portfolio
 
-echo "==> snbc batch smoke (cold race, then warm cache must serve every job)"
+echo "==> snbc batch smoke (cold race streams NDJSON, warm cache must serve every job)"
 batch_tmp="$(mktemp -d)"
 target/release/snbc batch examples/batch_jobs.json \
-  --cache-dir "$batch_tmp/cache" --report target/ci-artifacts/batch-report.json > /dev/null
+  --cache-dir "$batch_tmp/cache" --report target/ci-artifacts/batch-report.json \
+  --progress - --metrics-out target/ci-artifacts/metrics.prom \
+  > target/ci-artifacts/progress.ndjson
+# stdout hygiene: with `--progress -` every stdout line must be an NDJSON
+# event (human progress goes to stderr — docs/OBSERVABILITY.md).
+awk '!/^\{"seq":/ { bad = 1 } END { exit bad }' target/ci-artifacts/progress.ndjson
+grep -q '"schema":"snbc-progress/1"' target/ci-artifacts/progress.ndjson
+grep -q '^snbc_' target/ci-artifacts/metrics.prom
 target/release/snbc batch examples/batch_jobs.json \
   --cache-dir "$batch_tmp/cache" --report "$batch_tmp/warm.json" --require-all-hits > /dev/null
 cmp target/ci-artifacts/batch-report.json "$batch_tmp/warm.json"
 grep -q '"schema": "snbc-batch-report/1"' target/ci-artifacts/batch-report.json
 rm -rf "$batch_tmp"
+
+echo "==> observability determinism (canonical stream/snapshot vs threads and cache temperature)"
+obs_tmp="$(mktemp -d)"
+SNBC_THREADS=1 target/release/snbc batch examples/batch_jobs.json \
+  --cache-dir "$obs_tmp/cache-a" --progress "$obs_tmp/p1.ndjson" --canonical \
+  --metrics-json "$obs_tmp/m1.json" > /dev/null
+SNBC_THREADS=4 target/release/snbc batch examples/batch_jobs.json \
+  --cache-dir "$obs_tmp/cache-b" --progress "$obs_tmp/p4.ndjson" --canonical \
+  --metrics-json "$obs_tmp/m4.json" > /dev/null
+SNBC_THREADS=4 target/release/snbc batch examples/batch_jobs.json \
+  --cache-dir "$obs_tmp/cache-a" --require-all-hits \
+  --progress "$obs_tmp/pw.ndjson" --canonical --metrics-json "$obs_tmp/mw.json" > /dev/null
+cmp "$obs_tmp/p1.ndjson" "$obs_tmp/p4.ndjson"
+cmp "$obs_tmp/p1.ndjson" "$obs_tmp/pw.ndjson"
+cmp "$obs_tmp/m1.json" "$obs_tmp/m4.json"
+cmp "$obs_tmp/m1.json" "$obs_tmp/mw.json"
+grep -q '"schema":"snbc-progress/1"' "$obs_tmp/p1.ndjson"
+grep -q '"schema": "snbc-metrics/1"' "$obs_tmp/m1.json"
+rm -rf "$obs_tmp"
 
 echo "==> snbc synth --trace smoke (Perfetto export)"
 trace_tmp="$(mktemp -d)"

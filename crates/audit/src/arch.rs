@@ -21,7 +21,8 @@ pub const SANCTIONED_EXTERNAL: &[&str] = &["rand", "proptest", "criterion", "ser
 pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const FOUNDATION: &[&str] = &[];
     // `trace` is the bottom-most observability crate; `telemetry` mirrors its
-    // spans into an attached trace sink and `par` labels worker threads.
+    // spans into an attached trace sink, `par` labels worker threads, and
+    // `metrics` (registry + progress stream) reuses trace's canonical JSON.
     const OBSERVABILITY: &[&str] = &["snbc-trace"];
     const SOLVER_CORE: &[&str] = &[
         "snbc-linalg",
@@ -46,6 +47,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const CORE: &[&str] = &[
         "snbc-trace",
         "snbc-telemetry",
+        "snbc-metrics",
         "snbc-par",
         "snbc-linalg",
         "snbc-poly",
@@ -75,6 +77,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const BENCH: &[&str] = &[
         "snbc-trace",
         "snbc-telemetry",
+        "snbc-metrics",
         "snbc-par",
         "snbc-linalg",
         "snbc-poly",
@@ -94,6 +97,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const PORTFOLIO: &[&str] = &[
         "snbc-trace",
         "snbc-telemetry",
+        "snbc-metrics",
         "snbc-par",
         "snbc-poly",
         "snbc-nn",
@@ -103,6 +107,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
     const CLI: &[&str] = &[
         "snbc-trace",
         "snbc-telemetry",
+        "snbc-metrics",
         "snbc-par",
         "snbc-linalg",
         "snbc-poly",
@@ -120,7 +125,7 @@ pub fn allowed_internal(crate_dir: &str) -> Option<&'static [&'static str]> {
 
     Some(match crate_dir {
         "linalg" | "poly" | "autodiff" | "audit" | "trace" => FOUNDATION,
-        "telemetry" | "par" => OBSERVABILITY,
+        "telemetry" | "par" | "metrics" => OBSERVABILITY,
         "lp" | "sdp" => SOLVER_CORE,
         "sos" => SOS,
         "interval" => INTERVAL,

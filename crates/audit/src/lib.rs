@@ -14,8 +14,9 @@
 //! - soundness + determinism rules ([`rules`]): exact float comparisons,
 //!   panicking calls and swallowed `Result`s in solver library code, lossy
 //!   numeric casts, `HashMap`/`HashSet` iteration, raw `thread::spawn` /
-//!   `Instant::now` / `std::env` reads outside their owner crates, and
-//!   unordered float reductions over `par_map_collect` output;
+//!   `Instant::now` / `std::env` reads / `println!`-family printing outside
+//!   their owner crates, and unordered float reductions over
+//!   `par_map_collect` output;
 //! - an interprocedural effect engine: per-function effect leaves
 //!   ([`effects`]), a workspace call graph with SCC-fixpoint propagation
 //!   ([`callgraph`]), and declarative contracts over the propagated sets
@@ -84,6 +85,14 @@ pub const ENV_OWNER_CRATES: &[&str] = &["par", "cli", "audit"];
 /// runtime, whose reduction trees are deterministic by construction. The
 /// `unordered-fp-fold` effect is masked at leaves inside these crates.
 pub const FOLD_OWNER_CRATES: &[&str] = &["par"];
+
+/// Crates whose library code may print to stdout/stderr directly: the CLI
+/// (whose job is terminal output) and the audit tool itself. Everywhere else
+/// a `println!`/`eprintln!` in library code bypasses the observability
+/// surfaces (progress events, telemetry, tracing) and pollutes stdout that
+/// callers may be piping (`raw-print` rule; `src/bin/` targets and
+/// `src/main.rs` are exempt as binary entry points).
+pub const PRINT_OWNER_CRATES: &[&str] = &["cli", "audit"];
 
 /// Configuration for a workspace audit run.
 #[derive(Debug, Clone)]

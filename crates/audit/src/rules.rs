@@ -12,6 +12,7 @@
 //! | `nondet-iter` | iterating a `HashMap` / `HashSet` in non-test library code |
 //! | `swallowed-result` | `let _ =` / bare `.ok();` discarding a value in solver crates |
 //! | `env-read` | `std::env::var{,_os}` / `vars{,_os}` outside `crates/par`, `crates/cli`, `crates/audit` |
+//! | `raw-print` | `print!`/`println!`/`eprint!`/`eprintln!` in library code outside `crates/cli` / `crates/audit` and bin targets |
 //! | `unordered-reduce` | `+=` / `.sum()` accumulation over `par_map_collect` output outside `crates/par` |
 //! | `solver-effects` | solver-stack call that transitively reaches an env/clock/thread effect outside the stack |
 //! | `hot-alloc` | allocation (direct or through a resolved callee) in an `// audit:hot` function |
@@ -53,6 +54,7 @@ pub enum Rule {
     NondetIter,
     SwallowedResult,
     EnvRead,
+    RawPrint,
     UnorderedReduce,
     SolverEffects,
     HotAlloc,
@@ -195,6 +197,22 @@ pub const RULES: &[RuleInfo] = &[
               hatches that cannot affect results.",
     },
     RuleInfo {
+        rule: Rule::RawPrint,
+        id: "raw-print",
+        version: 1,
+        summary: "print!-family macro in library code outside the output owners",
+        rationale: "Library crates have structured output surfaces — progress events \
+                    (snbc-metrics), telemetry counters, and the trace — and stdout \
+                    belongs to machine-readable streams the CLI pipes (`--progress -` \
+                    NDJSON, certificates). A stray println! in a solver or the CEGIS \
+                    loop corrupts piped output and bypasses every sink the batch \
+                    service fans events into; only the CLI, the audit tool, and bin \
+                    targets own the terminal.",
+        fix: "Emit a ProgressEvent / telemetry counter / trace span instead, or move \
+              the printing to the CLI layer; annotate `// audit:allow(raw-print)` \
+              only for env-gated debug escape hatches that never run by default.",
+    },
+    RuleInfo {
         rule: Rule::UnorderedReduce,
         id: "unordered-reduce",
         version: 1,
@@ -321,6 +339,9 @@ pub struct ScanOptions {
     pub check_swallowed_result: bool,
     /// `env-read` (everywhere except par/cli/audit).
     pub check_env_read: bool,
+    /// `raw-print` (everywhere except cli/audit; bin targets exempted
+    /// per-file in [`scan_source_full`]).
+    pub check_raw_print: bool,
     /// `unordered-reduce` (everywhere except par itself).
     pub check_unordered_reduce: bool,
 }
@@ -335,6 +356,7 @@ impl ScanOptions {
             check_raw_instant: !crate::INSTANT_OWNER_CRATES.contains(&crate_name),
             check_swallowed_result: crate::SOLVER_CRATES.contains(&crate_name),
             check_env_read: !crate::ENV_OWNER_CRATES.contains(&crate_name),
+            check_raw_print: !crate::PRINT_OWNER_CRATES.contains(&crate_name),
             check_unordered_reduce: crate_name != "par",
         }
     }
@@ -437,6 +459,11 @@ pub fn scan_source_full(rel_path: &str, src: &str, opts: ScanOptions, crate_name
     }
     if opts.check_env_read {
         hits.extend(env_read(&ctx));
+    }
+    // Binary entry points (`src/main.rs`, `src/bin/*`) own their terminal:
+    // printing there is the whole point, regardless of the crate.
+    if opts.check_raw_print && !is_bin_target(rel_path) {
+        hits.extend(raw_print(&ctx));
     }
     let reduce_hits = if opts.check_unordered_reduce {
         unordered_reduce(&ctx)
@@ -740,6 +767,43 @@ fn stmt_discards_value(ctx: &RuleCtx, i: usize) -> bool {
         }
     }
     true
+}
+
+/// True for files compiled as binary entry points rather than library code:
+/// `src/main.rs` and anything under `src/bin/`.
+fn is_bin_target(rel_path: &str) -> bool {
+    rel_path.ends_with("src/main.rs") || rel_path.contains("/src/bin/")
+}
+
+/// `raw-print` v1: `print!`/`println!`/`eprint!`/`eprintln!` macro invocations
+/// in non-test library code. Macros cannot be renamed by `use` aliasing the
+/// way functions can, so a plain text match on `ident !` is exact here (the
+/// same shape `panicking` uses for `panic!`).
+fn raw_print(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_macro_bang = matches!(
+            ctx.tokens.get(i + 1),
+            Some(n) if n.kind == TokenKind::Punct && n.text == "!"
+        );
+        if is_macro_bang
+            && matches!(tok.text.as_str(), "print" | "println" | "eprint" | "eprintln")
+        {
+            hits.push(ctx.hit(
+                Rule::RawPrint,
+                i,
+                format!(
+                    "`{}!` in library code — route output through progress events / \
+                     telemetry / the CLI layer, or annotate audit:allow(raw-print)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    hits
 }
 
 /// `env-read` v2: `reads-env` effect leaves (alias-aware, call-shaped).
@@ -1078,6 +1142,7 @@ mod tests {
         check_raw_instant: true,
         check_swallowed_result: true,
         check_env_read: true,
+        check_raw_print: true,
         check_unordered_reduce: true,
     };
     const NON_SOLVER: ScanOptions = ScanOptions {
@@ -1086,6 +1151,7 @@ mod tests {
         check_raw_instant: true,
         check_swallowed_result: false,
         check_env_read: true,
+        check_raw_print: true,
         check_unordered_reduce: true,
     };
     const OWNER: ScanOptions = ScanOptions {
@@ -1094,6 +1160,7 @@ mod tests {
         check_raw_instant: false,
         check_swallowed_result: false,
         check_env_read: false,
+        check_raw_print: false,
         check_unordered_reduce: false,
     };
 
@@ -1414,6 +1481,34 @@ mod tests {
         assert_eq!(threads.len(), 1, "{found:?}");
         assert_eq!(threads[0].line, 2, "must flag the call, not the import: {found:?}");
         assert!(found.iter().any(|f| f.rule == Rule::EnvRead && f.line == 2), "{found:?}");
+    }
+
+    #[test]
+    fn raw_print_flags_all_four_macros_in_lib_code() {
+        let src = "fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); }";
+        let found = scan_source("crates/x/src/lib.rs", src, NON_SOLVER);
+        let hits: Vec<_> = found.iter().filter(|f| f.rule == Rule::RawPrint).collect();
+        assert_eq!(hits.len(), 4, "{found:?}");
+    }
+
+    #[test]
+    fn raw_print_skips_bin_targets_owner_crates_and_tests() {
+        let src = "fn f() { println!(\"a\"); }";
+        assert!(scan_source("crates/x/src/main.rs", src, NON_SOLVER).is_empty());
+        assert!(scan_source("crates/x/src/bin/tool.rs", src, NON_SOLVER).is_empty());
+        assert!(scan_source("crates/cli/src/lib.rs", src, OWNER).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { println!(\"a\"); }\n}\n";
+        assert!(scan_source("crates/x/src/lib.rs", in_test, NON_SOLVER).is_empty());
+    }
+
+    #[test]
+    fn raw_print_ignores_non_macro_idents_and_honors_suppression() {
+        // A method or fn named `println` without the bang is not the macro.
+        let src = "fn f(w: W) { w.println(); print(3); }\nfn print(x: u8) {}";
+        assert!(scan_source("crates/x/src/lib.rs", src, NON_SOLVER).is_empty());
+        let allowed =
+            "fn f() {\n    // audit:allow(raw-print) — env-gated debug trace\n    eprintln!(\"dbg\");\n}";
+        assert!(scan_source("crates/x/src/lib.rs", allowed, NON_SOLVER).is_empty());
     }
 
     #[test]

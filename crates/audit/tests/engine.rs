@@ -23,6 +23,7 @@ const SOLVER_OPTS: ScanOptions = ScanOptions {
     check_raw_instant: true,
     check_swallowed_result: true,
     check_env_read: true,
+    check_raw_print: true,
     check_unordered_reduce: true,
 };
 
@@ -33,6 +34,7 @@ const NON_SOLVER_OPTS: ScanOptions = ScanOptions {
     check_raw_instant: true,
     check_swallowed_result: false,
     check_env_read: true,
+    check_raw_print: true,
     check_unordered_reduce: true,
 };
 

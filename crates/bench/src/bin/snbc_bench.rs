@@ -40,7 +40,10 @@
 //!   all cache hits; both legs' `snbc-batch-report/1` documents must be
 //!   byte-identical. The strict `_t1` baseline pins the deterministic
 //!   `race_winner_index`, `candidates_launched`, `waves`, and
-//!   `cache_hit`/`cache_miss` counters.
+//!   `cache_hit`/`cache_miss` counters. Hit/miss, candidate, and wave
+//!   accounting is gated from the per-leg `snbc-metrics/1` snapshot (the
+//!   batch report deliberately carries none of it), and the canonical
+//!   snapshots of the cold and warm legs must be byte-identical.
 //!
 //! `--trace` additionally attaches an `snbc-trace` sink and writes the
 //! Chrome trace-event JSON of the gate run (handy for inspecting what the
@@ -54,6 +57,7 @@ use snbc::{recheck_with_intervals_recorded, Snbc, SnbcConfig};
 use snbc_bench::check::{check_reports, render_outcome, report_threads, DEFAULT_WALL_FACTOR};
 use snbc_dynamics::benchmarks;
 use snbc_interval::BranchAndBound;
+use snbc_metrics::{Metrics, MetricsSnapshot, Progress};
 use snbc_nn::{train_controller, ControllerTraining};
 use snbc_portfolio::{run_batch, BatchOptions, BatchSpec};
 use snbc_telemetry::Telemetry;
@@ -195,7 +199,22 @@ fn run_suite(suite: &str, with_trace: bool) -> (Telemetry, bool) {
             ..Default::default()
         };
         let rep = bb.check_at_least_traced(&stress, &dom, &[], 0.0, telemetry.trace());
-        telemetry.add("boxes", rep.boxes_processed as u64);
+        // The box count is gated through the `snbc-metrics/1` registry — the
+        // snapshot is the source of truth the baseline value comes from, so
+        // the registry's accumulate/merge path sits under this gate too.
+        let metrics = Metrics::recording();
+        metrics.add("boxes", rep.boxes_processed as u64);
+        metrics.observe(
+            "boxes_per_query",
+            snbc_metrics::buckets::BOXES,
+            rep.boxes_processed as f64,
+        );
+        let boxes = metrics.snapshot(true).counter("boxes");
+        if boxes == 0 {
+            eprintln!("[snbc-bench] interval stress check processed no boxes");
+            return (telemetry, false);
+        }
+        telemetry.add("boxes", boxes);
         telemetry.add("max_depth", rep.max_depth as u64);
         let holds = rep.verdict == snbc_interval::Verdict::Holds;
         telemetry.flag("holds", holds);
@@ -243,9 +262,26 @@ fn run_portfolio_suite(with_trace: bool) -> (Telemetry, bool) {
     let resolve = |path: &str| -> Result<(benchmarks::Benchmark, snbc_nn::Mlp), String> {
         Err(format!("portfolio suite uses benchmark jobs only, got `{path}`"))
     };
-    let run_leg = |leg: &str| -> Option<snbc_portfolio::BatchOutcome> {
-        match run_batch(&spec, &opts, &resolve, &telemetry, |_, _| {}) {
-            Ok(outcome) => Some(outcome),
+    struct Leg {
+        outcome: snbc_portfolio::BatchOutcome,
+        canonical: MetricsSnapshot,
+        full: MetricsSnapshot,
+    }
+    let run_leg = |leg: &str| -> Option<Leg> {
+        let metrics = Metrics::recording();
+        match run_batch(
+            &spec,
+            &opts,
+            &resolve,
+            &telemetry,
+            &Progress::off(),
+            &metrics,
+        ) {
+            Ok(outcome) => Some(Leg {
+                outcome,
+                canonical: metrics.snapshot(true),
+                full: metrics.snapshot(false),
+            }),
             Err(e) => {
                 eprintln!("[snbc-bench] {leg} batch leg FAILED: {e}");
                 None
@@ -259,27 +295,47 @@ fn run_portfolio_suite(with_trace: bool) -> (Telemetry, bool) {
         return (telemetry, false);
     };
     let mut ok = true;
-    if !cold.jobs.iter().all(|j| j.result.certified) {
+    if !cold.outcome.jobs.iter().all(|j| j.result.certified) {
         eprintln!("[snbc-bench] portfolio cold leg: not every job certified");
         ok = false;
     }
-    if (cold.hits(), cold.misses()) != (1, 1) {
+    // Hit/miss accounting is gated from the `snbc-metrics/1` snapshot, not
+    // re-derived from the batch reports (the report schema carries neither).
+    let hits = |leg: &Leg| (leg.full.counter("cache_hit"), leg.full.counter("cache_miss"));
+    if hits(&cold) != (1, 1) {
+        let (h, m) = hits(&cold);
         eprintln!(
-            "[snbc-bench] portfolio cold leg: expected 1 hit (repeated job) + 1 miss, got {} + {}",
-            cold.hits(),
-            cold.misses()
+            "[snbc-bench] portfolio cold leg: expected 1 hit (repeated job) + 1 miss, got {h} + {m}"
         );
         ok = false;
     }
-    if warm.misses() != 0 {
+    if hits(&warm) != (2, 0) {
+        let (h, m) = hits(&warm);
         eprintln!(
-            "[snbc-bench] portfolio warm leg: expected all cache hits, {} job(s) raced",
-            warm.misses()
+            "[snbc-bench] portfolio warm leg: expected 2 pure cache hits, got {h} + {m}"
         );
         ok = false;
     }
-    if cold.report_json() != warm.report_json() {
+    if cold.full.counter("candidates") != 4 || cold.full.counter("waves") < 4 {
+        eprintln!(
+            "[snbc-bench] portfolio cold leg: expected 2 candidates and >=2 waves per job, \
+             got {} candidate(s) over {} wave(s)",
+            cold.full.counter("candidates"),
+            cold.full.counter("waves")
+        );
+        ok = false;
+    }
+    if cold.outcome.report_json() != warm.outcome.report_json() {
         eprintln!("[snbc-bench] portfolio batch reports differ between cold and warm legs");
+        ok = false;
+    }
+    // The cold/warm determinism contract, metric-side: the canonical
+    // (environment-free) snapshots must be byte-identical — a cache replay
+    // merges back exactly what the live race recorded.
+    if cold.canonical.to_json_string() != warm.canonical.to_json_string() {
+        eprintln!(
+            "[snbc-bench] portfolio canonical metrics snapshots differ between cold and warm legs"
+        );
         ok = false;
     }
     (telemetry, ok)

@@ -4,6 +4,8 @@
 //! snbc synth <system-file> [--out <certificate-file>] [--timeout <secs>] [--report <json-file>] [--trace <json-file>]
 //! snbc check <system-file> <certificate-file> [--deep]
 //! snbc batch <jobs-file> [--cache-dir <dir>] [--report <json-file>] [--require-all-hits]
+//!            [--progress <path|->] [--canonical] [--metrics-out <prom-file>]
+//!            [--metrics-json <json-file>] [--trace <json-file>]
 //! snbc falsify <system-file>
 //! snbc example
 //! ```
@@ -15,8 +17,18 @@
 //! trace-event JSON (`snbc-trace/1`, loadable in Perfetto / `about:tracing`)
 //! with per-iteration solver events on per-worker tracks plus a self-time
 //! profile on stderr — see `docs/TRACING.md`.
+//!
+//! `batch` streams live `snbc-progress/1` NDJSON to `--progress` (use `-`
+//! for stdout; `--canonical` strips wall-clock fields so the stream is
+//! byte-identical across thread counts and cache temperature) and writes the
+//! run-level `snbc-metrics/1` registry as Prometheus text exposition
+//! (`--metrics-out`) or canonical JSON (`--metrics-json`) — see
+//! `docs/OBSERVABILITY.md`. All human-facing progress goes to **stderr** so
+//! stdout stays clean for `--progress -` and certificate text.
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use snbc::certificate::SafetyCertificate;
@@ -24,6 +36,7 @@ use snbc::falsify::{falsify, FalsifyConfig};
 use snbc::{Snbc, SnbcConfig};
 use snbc_cli::{parse_system, ControllerSpec, SystemFile, EXAMPLE_SYSTEM};
 use snbc_dynamics::benchmarks::{Benchmark, LambdaSpec};
+use snbc_metrics::{EventSink, Metrics, Progress, ProgressEvent, Scope};
 use snbc_nn::{train_controller, ControllerTraining, Mlp};
 use snbc_portfolio::{run_batch, BatchOptions, BatchSpec};
 
@@ -82,22 +95,37 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("batch") => {
             let path = it.next().ok_or("batch needs a jobs file")?;
-            let mut cache_dir = None;
-            let mut report = None;
-            let mut require_all_hits = false;
+            let mut opts = BatchCliOptions::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--cache-dir" => {
-                        cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone())
+                        opts.cache_dir =
+                            Some(it.next().ok_or("--cache-dir needs a path")?.clone())
                     }
                     "--report" => {
-                        report = Some(it.next().ok_or("--report needs a path")?.clone())
+                        opts.report = Some(it.next().ok_or("--report needs a path")?.clone())
                     }
-                    "--require-all-hits" => require_all_hits = true,
+                    "--progress" => {
+                        opts.progress =
+                            Some(it.next().ok_or("--progress needs a path or -")?.clone())
+                    }
+                    "--canonical" => opts.canonical = true,
+                    "--metrics-out" => {
+                        opts.metrics_out =
+                            Some(it.next().ok_or("--metrics-out needs a path")?.clone())
+                    }
+                    "--metrics-json" => {
+                        opts.metrics_json =
+                            Some(it.next().ok_or("--metrics-json needs a path")?.clone())
+                    }
+                    "--trace" => {
+                        opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone())
+                    }
+                    "--require-all-hits" => opts.require_all_hits = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            batch(path, cache_dir.as_deref(), report.as_deref(), require_all_hits)
+            batch(path, &opts)
         }
         Some("falsify") => {
             let path = it.next().ok_or("falsify needs a system file")?;
@@ -111,7 +139,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "usage: snbc synth <file> [--out <path>] [--timeout <secs>] [--report <json>] \
              [--trace <json>] | \
              snbc check <file> <cert> [--deep] | \
-             snbc batch <jobs> [--cache-dir <dir>] [--report <json>] [--require-all-hits] | \
+             snbc batch <jobs> [--cache-dir <dir>] [--report <json>] [--require-all-hits] \
+             [--progress <path|->] [--canonical] [--metrics-out <prom>] \
+             [--metrics-json <json>] [--trace <json>] | \
              snbc falsify <file> | snbc example"
                 .into(),
         ),
@@ -186,12 +216,14 @@ fn synth(
         .synthesize(&bench, &controller);
     // The per-round table and the JSON report are emitted even when synthesis
     // fails — a timeout trace is exactly when the telemetry matters.
+    // Human-facing progress goes to stderr (docs/OBSERVABILITY.md): stdout
+    // carries only the certificate and result summary, so it pipes clean.
     if let Some(rep) = telemetry.report() {
-        println!("{}", snbc_telemetry::render_round_table(&rep));
+        eprintln!("{}", snbc_telemetry::render_round_table(&rep));
         if let Some(rp) = report {
             std::fs::write(rp, rep.to_json_string())
                 .map_err(|e| format!("cannot write {rp}: {e}"))?;
-            println!("run report written to {rp}");
+            eprintln!("run report written to {rp}");
         }
     }
     if let Some(tp) = trace_out {
@@ -199,7 +231,7 @@ fn synth(
             std::fs::write(tp, dump.to_json_string())
                 .map_err(|e| format!("cannot write {tp}: {e}"))?;
             eprintln!("{}", dump.profile_text());
-            println!(
+            eprintln!(
                 "trace written to {tp} ({} events; load in Perfetto / chrome://tracing)",
                 dump.event_count()
             );
@@ -227,67 +259,168 @@ fn synth(
     Ok(())
 }
 
+/// `snbc batch` flags, gathered by the argument loop.
+#[derive(Default)]
+struct BatchCliOptions {
+    cache_dir: Option<String>,
+    report: Option<String>,
+    progress: Option<String>,
+    canonical: bool,
+    metrics_out: Option<String>,
+    metrics_json: Option<String>,
+    trace: Option<String>,
+    require_all_hits: bool,
+}
+
+/// The human progress renderer: one stderr line per finished job, driven by
+/// the same event stream the NDJSON writer consumes. Stdout stays clean for
+/// `--progress -` and piped report/certificate text.
+struct HumanSink {
+    total: usize,
+    /// Jobs whose (environmental, live-only) `cache-hit` marker was seen.
+    hits: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl EventSink for HumanSink {
+    fn event(&self, scope: Scope, event: &ProgressEvent, replayed: bool) {
+        // Replayed events re-enact a cached race; the human line reports
+        // the job from its live `job-done` summary instead.
+        if replayed {
+            return;
+        }
+        fn hits(
+            m: &Mutex<std::collections::HashSet<u64>>,
+        ) -> std::sync::MutexGuard<'_, std::collections::HashSet<u64>> {
+            match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+        match event {
+            ProgressEvent::CacheHit => {
+                if let Some(job) = scope.job {
+                    hits(&self.hits).insert(job);
+                }
+            }
+            ProgressEvent::JobDone {
+                name,
+                candidates,
+                waves,
+                winner_index,
+                iterations,
+                ..
+            } => {
+                let hit = scope.job.is_some_and(|j| hits(&self.hits).contains(&j));
+                let source = if hit {
+                    "cache hit".to_string()
+                } else {
+                    format!("raced {candidates} candidate(s), {waves} wave(s)")
+                };
+                let verdict = match winner_index {
+                    Some(w) => format!(
+                        "certified, winner #{w}, {} iteration(s)",
+                        iterations.unwrap_or(0)
+                    ),
+                    None => "NOT certified".to_string(),
+                };
+                eprintln!(
+                    "[{}/{}] {name}: {verdict} ({source})",
+                    scope.job.map_or(0, |j| j + 1),
+                    self.total
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Runs a `snbc-batch-jobs/1` file through the portfolio batch service:
 /// each job races its configuration grid unless the content-addressed cache
 /// (`--cache-dir`) already holds its certificate. `--require-all-hits`
 /// turns any live race into an error — the CI warm-cache leg uses it to
-/// prove the second run is pure lookups.
-fn batch(
-    path: &str,
-    cache_dir: Option<&str>,
-    report: Option<&str>,
-    require_all_hits: bool,
-) -> Result<(), String> {
+/// prove the second run is pure lookups. `--progress` streams per-round
+/// NDJSON, `--metrics-out`/`--metrics-json` export the run-level registry,
+/// and `--trace` writes the merged Chrome trace with its self-time profile
+/// on stderr.
+fn batch(path: &str, cli: &BatchCliOptions) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let spec = BatchSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let opts = BatchOptions {
         base: SnbcConfig::default(),
-        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        cache_dir: cli.cache_dir.as_deref().map(std::path::PathBuf::from),
     };
     let resolve = |sys_path: &str| -> Result<(Benchmark, Mlp), String> {
         let sf = load(sys_path)?;
         Ok(as_benchmark(&sf))
     };
-    let telemetry = snbc_telemetry::Telemetry::recording();
+    let mut telemetry = snbc_telemetry::Telemetry::recording();
+    if cli.trace.is_some() {
+        telemetry = telemetry.with_trace(snbc_trace::Trace::recording());
+    }
     let total = spec.jobs.len();
-    let outcome = run_batch(&spec, &opts, &resolve, &telemetry, |i, job| {
-        let source = if job.cache_hit {
-            "cache hit".to_string()
+
+    let mut sinks = vec![Progress::custom(Box::new(HumanSink {
+        total,
+        hits: Mutex::new(std::collections::HashSet::new()),
+    }))];
+    if let Some(target) = cli.progress.as_deref() {
+        let out: Box<dyn Write + Send> = if target == "-" {
+            Box::new(std::io::stdout())
         } else {
-            format!(
-                "raced {} candidate(s), {} wave(s)",
-                job.result.candidates, job.result.waves
+            Box::new(
+                std::fs::File::create(target)
+                    .map_err(|e| format!("cannot create {target}: {e}"))?,
             )
         };
-        let verdict = match job.result.winner_index {
-            Some(w) => format!(
-                "certified, winner #{w}, {} iteration(s)",
-                job.result.iterations.unwrap_or(0)
-            ),
-            None => "NOT certified".to_string(),
-        };
-        println!("[{}/{total}] {}: {verdict} ({source})", i + 1, job.name);
-    })
-    .map_err(|e| e.to_string())?;
-    if let Some(rep) = telemetry.report() {
-        println!("{}", snbc_telemetry::render_round_table(&rep));
+        sinks.push(Progress::writer(out, cli.canonical));
     }
-    println!(
+    let progress = Progress::fanout(sinks);
+    let metrics = Metrics::recording();
+
+    let outcome =
+        run_batch(&spec, &opts, &resolve, &telemetry, &progress, &metrics).map_err(|e| e.to_string())?;
+
+    if let Some(rep) = telemetry.report() {
+        eprintln!("{}", snbc_telemetry::render_round_table(&rep));
+    }
+    eprintln!(
         "batch done: {} job(s), {} cache hit(s), {} raced, {} certified",
         total,
         outcome.hits(),
         outcome.misses(),
         outcome.jobs.iter().filter(|j| j.result.certified).count()
     );
-    if let Some(rp) = report {
+    if let Some(mp) = cli.metrics_out.as_deref() {
+        let exposition = snbc_metrics::prom::to_prometheus(&metrics.snapshot(false));
+        std::fs::write(mp, exposition).map_err(|e| format!("cannot write {mp}: {e}"))?;
+        eprintln!("metrics exposition written to {mp}");
+    }
+    if let Some(mj) = cli.metrics_json.as_deref() {
+        std::fs::write(mj, metrics.snapshot(true).to_json_string())
+            .map_err(|e| format!("cannot write {mj}: {e}"))?;
+        eprintln!("canonical metrics snapshot written to {mj}");
+    }
+    if let Some(tp) = cli.trace.as_deref() {
+        if let Some(dump) = telemetry.trace().dump() {
+            std::fs::write(tp, dump.to_json_string())
+                .map_err(|e| format!("cannot write {tp}: {e}"))?;
+            // The merged self-time profile across every job in the batch.
+            eprintln!("{}", dump.profile_text());
+            eprintln!(
+                "trace written to {tp} ({} events; load in Perfetto / chrome://tracing)",
+                dump.event_count()
+            );
+        }
+    }
+    if let Some(rp) = cli.report.as_deref() {
         std::fs::write(rp, outcome.report_json())
             .map_err(|e| format!("cannot write {rp}: {e}"))?;
-        println!("batch report written to {rp}");
+        eprintln!("batch report written to {rp}");
     }
     if let Some(job) = outcome.jobs.iter().find(|j| !j.result.certified) {
         return Err(format!("job `{}` did not certify", job.name));
     }
-    if require_all_hits && outcome.misses() > 0 {
+    if cli.require_all_hits && outcome.misses() > 0 {
         return Err(format!(
             "--require-all-hits: {} job(s) missed the cache",
             outcome.misses()

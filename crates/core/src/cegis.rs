@@ -149,6 +149,8 @@ impl CegisStatus {
 pub struct Snbc {
     cfg: SnbcConfig,
     telemetry: snbc_telemetry::Telemetry,
+    progress: snbc_metrics::Progress,
+    metrics: snbc_metrics::Metrics,
 }
 
 impl Snbc {
@@ -157,6 +159,8 @@ impl Snbc {
         Snbc {
             cfg,
             telemetry: snbc_telemetry::Telemetry::off(),
+            progress: snbc_metrics::Progress::off(),
+            metrics: snbc_metrics::Metrics::off(),
         }
     }
 
@@ -184,6 +188,26 @@ impl Snbc {
         self
     }
 
+    /// Attaches a live progress sink: each [`CegisEngine::step`] emits
+    /// `learn-epoch`, `verify-rung` (×3), `cex`, and `round` events under
+    /// the handle's scope. See `snbc_metrics::progress` for the event
+    /// vocabulary and the determinism contract.
+    #[must_use]
+    pub fn with_progress(mut self, progress: snbc_metrics::Progress) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Attaches a metric registry: each round records `rounds`,
+    /// `cex_points`, `verify_rung_{feasible,infeasible}`, `boxes` (the
+    /// δ-complete fallback oracle's boxes processed), `reseeds`, and the
+    /// `learn_loss` / `cex_points_per_round` histograms.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: snbc_metrics::Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SnbcConfig {
         &self.cfg
@@ -198,7 +222,14 @@ impl Snbc {
     ///
     /// * [`SnbcError::Approximation`] — the §3 LP failed.
     pub fn engine(&self, bench: &Benchmark, controller: &Mlp) -> Result<CegisEngine, SnbcError> {
-        CegisEngine::new(self.cfg.clone(), self.telemetry.clone(), bench, controller)
+        CegisEngine::new(
+            self.cfg.clone(),
+            self.telemetry.clone(),
+            self.progress.clone(),
+            self.metrics.clone(),
+            bench,
+            controller,
+        )
     }
 
     /// Runs Algorithm 1 on a benchmark with its pre-trained NN controller.
@@ -248,6 +279,8 @@ impl Snbc {
 pub struct CegisEngine {
     cfg: SnbcConfig,
     telemetry: snbc_telemetry::Telemetry,
+    progress: snbc_metrics::Progress,
+    metrics: snbc_metrics::Metrics,
     /// The open `cegis` span; dropped (closed) at the first terminal status.
     run_span: Option<snbc_telemetry::SpanGuard>,
     t0: Stopwatch,
@@ -274,6 +307,8 @@ impl CegisEngine {
     fn new(
         cfg: SnbcConfig,
         telemetry: snbc_telemetry::Telemetry,
+        progress: snbc_metrics::Progress,
+        metrics: snbc_metrics::Metrics,
         bench: &Benchmark,
         controller: &Mlp,
     ) -> Result<Self, SnbcError> {
@@ -319,6 +354,8 @@ impl CegisEngine {
         Ok(CegisEngine {
             cfg,
             telemetry: tele,
+            progress,
+            metrics,
             run_span: Some(run_span),
             t0,
             system: system.clone(),
@@ -381,6 +418,12 @@ impl CegisEngine {
                 tele.add("iterations", self.cfg.max_iterations as u64);
                 tele.flag("certified", false);
             }
+            if self.progress.is_on() {
+                self.progress.emit(snbc_metrics::ProgressEvent::Round {
+                    round: self.rounds as u64,
+                    status: "exhausted".to_string(),
+                });
+            }
             return self.finish(CegisStatus::Exhausted {
                 iterations: self.cfg.max_iterations,
                 best_margin: self.best_margin,
@@ -391,6 +434,15 @@ impl CegisEngine {
                 tele.add("iterations", (iter - 1) as u64);
                 tele.flag("certified", false);
             }
+            if self.progress.is_on() {
+                // Wall-clock trips are environment-dependent by nature, so
+                // this event only ever appears in solo (one-shot) streams:
+                // the portfolio racer neutralizes `time_limit` entirely.
+                self.progress.emit(snbc_metrics::ProgressEvent::Round {
+                    round: self.rounds as u64,
+                    status: "timed-out".to_string(),
+                });
+            }
             let elapsed = self.t0.elapsed().as_secs_f64();
             return self.finish(CegisStatus::TimedOut { elapsed });
         }
@@ -398,9 +450,20 @@ impl CegisEngine {
 
         // Learner (step 3 / step 9).
         let tl = Stopwatch::start();
-        self.learner
+        let loss = self
+            .learner
             .train(&self.closed_robust, self.inclusion.sigma_star, &self.sets);
         self.t_learn += tl.elapsed();
+        self.metrics.add("rounds", 1);
+        self.metrics.gauge("learn_loss", loss);
+        self.metrics
+            .observe("learn_loss_per_round", snbc_metrics::buckets::LOSS, loss);
+        if self.progress.is_on() {
+            self.progress.emit(snbc_metrics::ProgressEvent::LearnEpoch {
+                round: iter as u64,
+                loss,
+            });
+        }
         let b = self.learner.barrier_polynomial().prune(1e-9);
 
         // Verifier (step 5). The multiplier degree follows the
@@ -414,6 +477,28 @@ impl CegisEngine {
         }
         let outcome = Verifier::new(&self.system, &self.inclusion, vcfg).verify(&b);
         self.t_verify += outcome.total_time();
+        for (rung, cond) in [
+            ("init", &outcome.init),
+            ("unsafe", &outcome.unsafe_),
+            ("flow", &outcome.flow),
+        ] {
+            self.metrics.add(
+                if cond.feasible {
+                    "verify_rung_feasible"
+                } else {
+                    "verify_rung_infeasible"
+                },
+                1,
+            );
+            if self.progress.is_on() {
+                self.progress.emit(snbc_metrics::ProgressEvent::VerifyRung {
+                    round: iter as u64,
+                    rung: rung.to_string(),
+                    feasible: cond.feasible,
+                    margin: cond.margin,
+                });
+            }
+        }
 
         if outcome.is_certified() {
             let lambda = outcome
@@ -425,6 +510,12 @@ impl CegisEngine {
             if tele.is_recording() {
                 tele.add("iterations", iter as u64);
                 tele.flag("certified", true);
+            }
+            if self.progress.is_on() {
+                self.progress.emit(snbc_metrics::ProgressEvent::Round {
+                    round: iter as u64,
+                    status: "certified".to_string(),
+                });
             }
             self.rounds = iter;
             let result = SnbcResult {
@@ -466,6 +557,23 @@ impl CegisEngine {
             tele.add("points", added as u64);
             tele.flag("interval_fallback", interval_fallback);
         }
+        self.metrics.gauge("best_margin", self.best_margin);
+        self.metrics.add("cex_points", added as u64);
+        self.metrics.observe(
+            "cex_points_per_round",
+            snbc_metrics::buckets::POINTS,
+            added as f64,
+        );
+        if interval_fallback {
+            self.metrics.add("interval_fallbacks", 1);
+        }
+        if self.progress.is_on() {
+            self.progress.emit(snbc_metrics::ProgressEvent::Cex {
+                round: iter as u64,
+                points: added as u64,
+                interval_fallback,
+            });
+        }
         drop(cex_span);
         self.t_cex += tc.elapsed();
         if added == 0 {
@@ -475,6 +583,7 @@ impl CegisEngine {
                 // basin (new initialization + fresh samples).
                 self.plateau = 0;
                 tele.add("reseeds", 1);
+                self.metrics.add("reseeds", 1);
                 let n = self.system.nvars();
                 let reseed = self.cfg.seed + 1000 * iter as u64;
                 let b_net = QuadraticNet::new(n, &self.nn_b_hidden, reseed);
@@ -506,6 +615,12 @@ impl CegisEngine {
             self.plateau = 0;
         }
         self.rounds = iter;
+        if self.progress.is_on() {
+            self.progress.emit(snbc_metrics::ProgressEvent::Round {
+                round: iter as u64,
+                status: "in-progress".to_string(),
+            });
+        }
         CegisStatus::InProgress
     }
 
@@ -578,6 +693,9 @@ impl CegisEngine {
         let mut added = 0;
         if !outcome.init.feasible {
             let r = bb.check_at_least(b, &boxed(system.init()), system.init().polys(), 0.0);
+            self.metrics.add("boxes", r.boxes_processed as u64);
+            self.metrics
+                .observe("boxes_per_query", snbc_metrics::buckets::BOXES, r.boxes_processed as f64);
             if let Verdict::Violated { witness, .. } = r.verdict {
                 self.sets.init.push(witness);
                 added += 1;
@@ -591,6 +709,9 @@ impl CegisEngine {
                 system.unsafe_set().polys(),
                 1e-12,
             );
+            self.metrics.add("boxes", r.boxes_processed as u64);
+            self.metrics
+                .observe("boxes_per_query", snbc_metrics::buckets::BOXES, r.boxes_processed as f64);
             if let Verdict::Violated { witness, .. } = r.verdict {
                 self.sets.unsafe_.push(witness);
                 added += 1;
@@ -604,6 +725,9 @@ impl CegisEngine {
             let sigma = self.inclusion.sigma_star.max(1e-9);
             dom.push(Interval::new(-sigma, sigma));
             let r = bb.check_at_least(&expr, &dom, system.domain().polys(), 0.0);
+            self.metrics.add("boxes", r.boxes_processed as u64);
+            self.metrics
+                .observe("boxes_per_query", snbc_metrics::buckets::BOXES, r.boxes_processed as f64);
             if let Verdict::Violated { mut witness, .. } = r.verdict {
                 witness.truncate(system.nvars());
                 self.sets.domain.push(witness);

@@ -172,6 +172,7 @@ fn solve_standard_inner(
         // Debug-trace flag: gates stderr prints only, never solver results.
         // audit:allow(env-read)
         if std::env::var_os("SNBC_LP_TRACE").is_some() {
+            // audit:allow(raw-print) — env-gated debug trace, off by default
             eprintln!("iter {iter}: rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e} mu={mu:.3e}");
         }
         let merit = rp_rel.max(rd_rel).max(mu).max(gap_rel * 0.1);

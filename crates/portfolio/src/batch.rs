@@ -12,11 +12,25 @@
 //! job set (`tests/portfolio_determinism.rs` holds this line). Hit/miss
 //! accounting lives in the telemetry counters (`cache_hit`, `cache_miss`)
 //! instead, where run reports — which do carry timings — already live.
+//!
+//! # Observability
+//!
+//! The batch driver is the pipeline's progress/metrics aggregation point:
+//! each job gets a job-scoped [`Progress`] handle (`job-start`, the race's
+//! per-round events, `job-done`) and every job's race records into a fresh
+//! per-job registry that is merged into the run-level [`Metrics`] **in job
+//! order**. On a cache miss the job's canonical event lines and canonical
+//! metric snapshot are stored next to the certificate; on a hit they are
+//! replayed/merged back (plus an environmental `cache-hit` event and
+//! `cache_hit` counter), which keeps the canonical stream and snapshot
+//! byte-identical between cold and warm runs — see `docs/OBSERVABILITY.md`.
 
 use std::path::PathBuf;
 
 use snbc::{SafetyCertificate, SnbcConfig};
 use snbc_dynamics::benchmarks::{self, Benchmark};
+use snbc_metrics::progress::parse_stream;
+use snbc_metrics::{Metrics, MetricsSnapshot, Progress, ProgressEvent};
 use snbc_nn::{train_controller, ControllerTraining, Mlp};
 use snbc_telemetry::json::{self, Value};
 use snbc_telemetry::Telemetry;
@@ -209,39 +223,73 @@ impl BatchOutcome {
 /// certificate re-parsed as an integrity check — a corrupt entry degrades
 /// to a live race, never to a bad answer), otherwise race the grid and
 /// store the outcome when it certifies (failures are never cached, so a
-/// rerun under a larger budget can still succeed). `progress` is called
-/// with each job's index as it
-/// finishes; telemetry gains a `batch` span with one indexed `job` span per
-/// job carrying the `cache_hit`/`cache_miss` counters.
+/// rerun under a larger budget can still succeed).
+///
+/// Each job is bracketed by `job-start`/`job-done` events on a job-scoped
+/// clone of `progress`, with the race's per-round events in between (live
+/// on a miss, replayed from the cache entry on a hit). `metrics` gains each
+/// job's per-job registry merged in job order plus the environmental
+/// `cache_hit`/`cache_miss` counters; telemetry gains a `batch` span with
+/// one indexed `job` span per job carrying the same hit/miss counters.
 pub fn run_batch(
     spec: &BatchSpec,
     opts: &BatchOptions,
     resolve: SystemResolver<'_>,
     telemetry: &Telemetry,
-    mut progress: impl FnMut(usize, &JobOutcome),
+    progress: &Progress,
+    metrics: &Metrics,
 ) -> Result<BatchOutcome, BatchError> {
     let batch_span = telemetry.span("batch");
     let cache = opts.cache_dir.as_ref().map(CertificateCache::new);
+    let ctx = JobCtx {
+        opts,
+        resolve,
+        cache: cache.as_ref(),
+        telemetry,
+        metrics,
+    };
     let mut jobs = Vec::with_capacity(spec.jobs.len());
     for (index, job) in spec.jobs.iter().enumerate() {
         let job_span = telemetry.span_indexed("job", index as u64);
         telemetry.label("name", &job.name);
-        let outcome = run_job(index, job, opts, resolve, cache.as_ref(), telemetry)?;
+        let jp = progress.with_job(index as u64);
+        jp.emit(ProgressEvent::JobStart {
+            name: job.name.clone(),
+        });
+        let outcome = run_job(index, job, &ctx, &jp)?;
+        metrics.add("jobs", 1);
+        if outcome.result.certified {
+            metrics.add("jobs_certified", 1);
+        }
+        jp.emit(ProgressEvent::JobDone {
+            name: outcome.name.clone(),
+            certified: outcome.result.certified,
+            candidates: outcome.result.candidates as u64,
+            waves: outcome.result.waves as u64,
+            winner_index: outcome.result.winner_index.map(|i| i as u64),
+            iterations: outcome.result.iterations.map(|i| i as u64),
+        });
         drop(job_span);
-        progress(index, &outcome);
         jobs.push(outcome);
     }
     drop(batch_span);
     Ok(BatchOutcome { jobs })
 }
 
+/// Per-run context shared by every `run_job` call.
+struct JobCtx<'a> {
+    opts: &'a BatchOptions,
+    resolve: SystemResolver<'a>,
+    cache: Option<&'a CertificateCache>,
+    telemetry: &'a Telemetry,
+    metrics: &'a Metrics,
+}
+
 fn run_job(
     index: usize,
     job: &JobSpec,
-    opts: &BatchOptions,
-    resolve: SystemResolver<'_>,
-    cache: Option<&CertificateCache>,
-    telemetry: &Telemetry,
+    ctx: &JobCtx<'_>,
+    progress: &Progress,
 ) -> Result<JobOutcome, BatchError> {
     let (bench, controller) = match &job.source {
         JobSource::Benchmark(k) => {
@@ -259,20 +307,27 @@ fn run_job(
             );
             (bench, controller)
         }
-        JobSource::System(path) => resolve(path).map_err(|message| BatchError::Job {
+        JobSource::System(path) => (ctx.resolve)(path).map_err(|message| BatchError::Job {
             index,
             message: format!("system `{path}`: {message}"),
         })?,
     };
-    let mut base = opts.base.clone();
+    let mut base = ctx.opts.base.clone();
     if let Some(iters) = job.max_iterations {
         base.max_iterations = iters;
     }
     let key = CacheKey::new(&bench.system, &controller, &base, &job.grid);
 
-    if let Some(cache) = cache {
-        if let Some(result) = cached_result(cache, &key) {
-            telemetry.add("cache_hit", 1);
+    if let Some(cache) = ctx.cache {
+        if let Some((result, events, snap)) = cached_result(cache, &key) {
+            ctx.telemetry.add("cache_hit", 1);
+            ctx.metrics.add_env("cache_hit", 1);
+            // The hit marker is environmental (live streams only); the
+            // stored race events replay into canonical sinks so the
+            // canonical stream is byte-identical to the cold run's.
+            progress.emit(ProgressEvent::CacheHit);
+            progress.replay(&events);
+            ctx.metrics.merge_snapshot(&snap);
             return Ok(JobOutcome {
                 name: job.name.clone(),
                 key,
@@ -281,9 +336,25 @@ fn run_job(
             });
         }
     }
-    telemetry.add("cache_miss", 1);
+    ctx.telemetry.add("cache_miss", 1);
+    ctx.metrics.add_env("cache_miss", 1);
 
-    let outcome = race(&bench, &controller, &base, &job.grid, telemetry);
+    // The race records into a capture sink and a fresh per-job registry
+    // regardless of the caller's sinks, so a stored entry always carries
+    // complete canonical artifacts for warm-run replay.
+    let capture = Progress::capture();
+    let race_progress = Progress::fanout(vec![progress.clone(), capture.clone()]);
+    let job_metrics = Metrics::recording();
+    let outcome = race(
+        &bench,
+        &controller,
+        &base,
+        &job.grid,
+        ctx.telemetry,
+        &race_progress,
+        &job_metrics,
+    );
+    ctx.metrics.merge(&job_metrics);
     let result = match outcome.winner {
         Some(winner) => JobResult {
             certified: true,
@@ -310,11 +381,13 @@ fn run_job(
     // `time_limit`, so a failure (which may be budget-dependent) must never
     // be pinned — a later run under a larger budget gets to race again.
     if result.certified {
-        if let Some(cache) = cache {
+        if let Some(cache) = ctx.cache {
             cache.store(
                 &key,
                 &result.to_json().to_pretty_string(),
                 result.certificate.as_deref(),
+                Some(&capture.captured()),
+                Some(&job_metrics.snapshot(true).to_json_string()),
             )?;
         }
     }
@@ -328,9 +401,13 @@ fn run_job(
 
 /// Reads and validates a cached entry; any defect — unparseable JSON, a
 /// non-certified result (only certified outcomes are ever stored), a
-/// result/certificate mismatch, or a certificate that fails to re-parse —
-/// makes this a miss.
-fn cached_result(cache: &CertificateCache, key: &CacheKey) -> Option<JobResult> {
+/// result/certificate mismatch, a certificate that fails to re-parse, or
+/// missing/corrupt observability artifacts (entries written before they
+/// existed included) — makes this a miss, and the job re-races.
+fn cached_result(
+    cache: &CertificateCache,
+    key: &CacheKey,
+) -> Option<(JobResult, Vec<(snbc_metrics::Scope, ProgressEvent)>, MetricsSnapshot)> {
     let entry = cache.lookup(key)?;
     let value = json::parse(&entry.result_json).ok()?;
     let result = JobResult::from_json(&value).ok()?;
@@ -342,7 +419,9 @@ fn cached_result(cache: &CertificateCache, key: &CacheKey) -> Option<JobResult> 
     if entry.certificate.as_deref() != Some(cert_text) {
         return None;
     }
-    Some(result)
+    let events = parse_stream(entry.progress_ndjson.as_deref()?).ok()?;
+    let snap = MetricsSnapshot::parse(entry.metrics_json.as_deref()?).ok()?;
+    Some((result, events, snap))
 }
 
 #[cfg(test)]
@@ -415,7 +494,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("snbc-batch-test-{}", key.hash()));
         let cache = CertificateCache::new(&dir);
         cache
-            .store(&key, &failed.to_json().to_pretty_string(), None)
+            .store(&key, &failed.to_json().to_pretty_string(), None, None, None)
             .unwrap();
         assert!(
             cached_result(&cache, &key).is_none(),

@@ -36,6 +36,7 @@
 
 use snbc::{CegisEngine, CegisStatus, Snbc, SnbcConfig, SnbcResult};
 use snbc_dynamics::benchmarks::Benchmark;
+use snbc_metrics::{Metrics, Progress, ProgressEvent};
 use snbc_nn::Mlp;
 use snbc_telemetry::Telemetry;
 
@@ -68,6 +69,12 @@ pub struct RaceWinner {
 struct Candidate {
     cfg: CandidateConfig,
     tele: Telemetry,
+    /// Private event buffer, drained into the race's sink in grid-index
+    /// order at each wave barrier (see the module docs on determinism).
+    prog: Progress,
+    /// Private metric registry fork, merged in grid-index order after the
+    /// race settles.
+    met: Metrics,
     lane: Lane,
 }
 
@@ -89,7 +96,11 @@ impl Candidate {
         let lane = std::mem::replace(&mut self.lane, Lane::Failed(String::new()));
         self.lane = match lane {
             Lane::Pending(cfg) => {
-                match Snbc::new(*cfg).with_telemetry(self.tele.clone()).engine(bench, controller) {
+                let snbc = Snbc::new(*cfg)
+                    .with_telemetry(self.tele.clone())
+                    .with_progress(self.prog.clone())
+                    .with_metrics(self.met.clone());
+                match snbc.engine(bench, controller) {
                     Ok(engine) => Lane::Running(Box::new(engine)),
                     Err(e) => Lane::Failed(e.to_string()),
                 }
@@ -132,6 +143,8 @@ pub fn race(
     base: &SnbcConfig,
     grid: &ConfigGrid,
     telemetry: &Telemetry,
+    progress: &Progress,
+    metrics: &Metrics,
 ) -> RaceOutcome {
     let span = telemetry.span("race");
     let mut candidates: Vec<Candidate> = grid
@@ -147,6 +160,8 @@ pub fn race(
             applied.time_limit = std::time::Duration::MAX;
             Candidate {
                 tele: telemetry.fork(),
+                prog: progress.fork_buffer().with_candidate(cfg.index as u64),
+                met: metrics.fork(),
                 lane: Lane::Pending(Box::new(applied)),
                 cfg,
             }
@@ -171,11 +186,38 @@ pub fn race(
         });
         // Barrier: the wave is complete for *every* candidate before any
         // winner is declared, so the set of certified candidates at this
-        // point is independent of the worker count.
+        // point is independent of the worker count. Candidate event buffers
+        // drain here, in grid-index order — the one serialization point
+        // that keeps the merged stream independent of `SNBC_THREADS`.
+        if progress.is_on() {
+            for cand in &candidates {
+                cand.prog.drain_into(progress);
+            }
+            let live = candidates.iter().filter(|c| c.live()).count();
+            let certified = candidates.iter().filter(|c| c.certified()).count();
+            progress.emit(ProgressEvent::Wave {
+                wave: waves as u64,
+                live: live as u64,
+                certified: certified as u64,
+            });
+        }
         if candidates.iter().any(Candidate::certified) {
             break;
         }
     }
+
+    // Merge candidate registries in grid order (the index order fixes the
+    // float accumulation order of histogram sums), then the race counters.
+    for cand in &candidates {
+        metrics.merge(&cand.met);
+    }
+    metrics.add("candidates", launched as u64);
+    metrics.add("waves", waves as u64);
+    metrics.observe(
+        "waves_per_race",
+        snbc_metrics::buckets::WAVES,
+        waves as f64,
+    );
 
     telemetry.add("candidates_launched", launched as u64);
     telemetry.add("waves", waves as u64);
@@ -244,10 +286,23 @@ mod tests {
         };
         let telemetry = Telemetry::recording();
         let _root = telemetry.span("test");
-        let outcome = race(&bench, &controller, &base, &grid, &telemetry);
+        let metrics = Metrics::recording();
+        let outcome = race(
+            &bench,
+            &controller,
+            &base,
+            &grid,
+            &telemetry,
+            &Progress::off(),
+            &metrics,
+        );
         let winner = outcome.winner.expect("some candidate certifies");
         assert_eq!(outcome.candidates_launched, 2);
         assert!(outcome.waves >= 2, "setup wave + at least one round");
+        let snap = metrics.snapshot(false);
+        assert_eq!(snap.counter("candidates"), 2);
+        assert_eq!(snap.counter("waves"), outcome.waves as u64);
+        assert!(snap.counter("rounds") >= 1, "candidate engines record rounds");
 
         // The winner's certificate must equal the one the solo driver finds
         // with the same candidate configuration.
@@ -268,7 +323,15 @@ mod tests {
             ..Default::default()
         };
         let telemetry = Telemetry::off();
-        let outcome = race(&bench, &controller, &SnbcConfig::default(), &grid, &telemetry);
+        let outcome = race(
+            &bench,
+            &controller,
+            &SnbcConfig::default(),
+            &grid,
+            &telemetry,
+            &Progress::off(),
+            &Metrics::off(),
+        );
         assert!(outcome.winner.is_none());
         assert_eq!(outcome.candidates_launched, 0);
         assert_eq!(outcome.waves, 0);

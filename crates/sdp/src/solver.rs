@@ -305,6 +305,7 @@ impl SdpSolver {
             // Debug-trace flag: gates stderr prints only, never solver results.
             // audit:allow(env-read)
             if std::env::var_os("SNBC_SDP_TRACE").is_some() {
+                // audit:allow(raw-print) — env-gated debug trace, off by default
                 eprintln!(
                     "sdp iter {iter}: rp={rp_rel:.3e} rd={rd_rel:.3e} gap={gap_rel:.3e} mu={mu:.3e}"
                 );

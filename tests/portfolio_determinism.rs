@@ -9,6 +9,7 @@
 
 use snbc::SnbcConfig;
 use snbc_dynamics::benchmarks::Benchmark;
+use snbc_metrics::{Metrics, Progress};
 use snbc_nn::Mlp;
 use snbc_portfolio::{run_batch, BatchOptions, BatchOutcome, BatchSpec};
 use snbc_telemetry::Telemetry;
@@ -29,7 +30,15 @@ fn run_legs(spec: &BatchSpec, cache_dir: &std::path::Path) -> BatchOutcome {
         base: SnbcConfig::default(),
         cache_dir: Some(cache_dir.to_path_buf()),
     };
-    run_batch(spec, &opts, &resolve, &Telemetry::off(), |_, _| {}).expect("batch runs")
+    run_batch(
+        spec,
+        &opts,
+        &resolve,
+        &Telemetry::off(),
+        &Progress::off(),
+        &Metrics::off(),
+    )
+    .expect("batch runs")
 }
 
 #[test]
