@@ -16,7 +16,13 @@ mkdir -p target/audit
 cargo run -q -p snbc-audit -- --format sarif --output target/audit/audit.sarif
 cargo run -q -p snbc-audit -- --format json --output target/audit/audit.json
 grep -q '"name":"snbc-audit"' target/audit/audit.sarif
-grep -q '"schema":"snbc-audit/3"' target/audit/audit.json
+grep -q '"schema":"snbc-audit/4"' target/audit/audit.json
+grep -q '"rules":\[' target/audit/audit.json
+
+echo "==> snbc-audit determinism (SARIF twice, byte-identical)"
+cargo run -q -p snbc-audit -- --format sarif --output target/audit/audit-2.sarif
+cmp target/audit/audit.sarif target/audit/audit-2.sarif
+rm target/audit/audit-2.sarif
 
 echo "==> snbc-audit graph artifact (call/arch DAG, canonical bytes)"
 cargo run -q -p snbc-audit -- graph --format dot --output target/audit/graph.dot

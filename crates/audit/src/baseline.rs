@@ -356,4 +356,40 @@ mod tests {
         assert!(text.contains("rule nondet-iter 1"));
         assert!(!text.contains("rule float-eq"));
     }
+
+    #[test]
+    fn dataflow_rule_bumps_stale_only_their_own_pins() {
+        // A baseline written before the dataflow engine landed: it pins the
+        // pre-bump versions. Exactly those rules go stale — nothing else.
+        let b = parse(
+            "version 2\n\
+             rule unordered-reduce 2\n\
+             rule swallowed-result 1\n\
+             rule float-eq 1\n\
+             unordered-reduce crates/a/src/lib.rs 2\n\
+             swallowed-result crates/a/src/lib.rs 1\n\
+             float-eq crates/b/src/lib.rs 1\n",
+        )
+        .unwrap();
+        let stale = b.stale_rules();
+        let stale_ids: Vec<&str> = stale.iter().map(|(r, _, _)| r.id()).collect();
+        assert_eq!(stale_ids, vec!["swallowed-result", "unordered-reduce"]);
+        assert!(stale
+            .iter()
+            .all(|&(r, recorded, current)| recorded < current && r.version() == current));
+        // The stale rules' tolerances are dropped, so their findings now
+        // count as regressions; the float-eq entry survives untouched.
+        let active = b.effective_entries();
+        assert_eq!(active.len(), 1);
+        assert!(active.contains_key(&(Rule::FloatEq, "crates/b/src/lib.rs".to_string())));
+        // A fresh render pins the bumped versions (and par-capture-race at v1).
+        let text = render(&[
+            finding(Rule::UnorderedReduce, "a.rs", 1),
+            finding(Rule::SwallowedResult, "a.rs", 2),
+            finding(Rule::ParCaptureRace, "a.rs", 3),
+        ]);
+        assert!(text.contains("rule unordered-reduce 3"));
+        assert!(text.contains("rule swallowed-result 2"));
+        assert!(text.contains("rule par-capture-race 1"));
+    }
 }

@@ -49,19 +49,20 @@ pub struct CallSite {
     /// File-local token index of the callee identifier.
     pub tok: usize,
     pub line: usize,
-    /// Line span of the enclosing statement (suppression attachment).
-    pub stmt: (usize, usize),
+    /// Lines owned by the enclosing statement (suppression attachment) —
+    /// closure-body lines belong to the closure's own statements.
+    pub stmt_lines: Vec<usize>,
     /// Callable arguments, recorded only for `snbc_par` entry points.
     pub callable_args: Vec<CallableArg>,
 }
 
-/// One effect leaf inside a function body, with its statement span.
+/// One effect leaf inside a function body, with its statement's line set.
 #[derive(Debug, Clone)]
 pub struct LeafSite {
     pub effect: Effect,
     pub tok: usize,
     pub line: usize,
-    pub stmt: (usize, usize),
+    pub stmt_lines: Vec<usize>,
     pub what: String,
 }
 
@@ -158,9 +159,9 @@ pub fn analyze_file(
         if leaf.effect.owner_crates().contains(&crate_name) {
             continue;
         }
-        let stmt = tree.stmt_span(leaf.tok, leaf.line);
+        let stmt_lines = tree.stmt_lines(leaf.tok, leaf.line);
         if let Some(rule_id) = leaf.effect.allow_rule_id() {
-            if suppressed_at(&lexed.suppressions, rule_id, stmt, leaf.line) {
+            if suppressed_at(&lexed.suppressions, rule_id, &stmt_lines, leaf.line) {
                 continue;
             }
         }
@@ -174,7 +175,7 @@ pub fn analyze_file(
             effect: leaf.effect,
             tok: leaf.tok,
             line: leaf.line,
-            stmt,
+            stmt_lines,
             what: leaf.what.clone(),
         });
     }
@@ -226,7 +227,7 @@ pub fn analyze_file(
                 is_method,
                 tok: i,
                 line: tokens[i].line,
-                stmt: tree.stmt_span(i, tokens[i].line),
+                stmt_lines: tree.stmt_lines(i, tokens[i].line),
                 callable_args,
             });
             i += 1;
@@ -241,19 +242,25 @@ pub fn analyze_file(
     }
 }
 
-/// True when a statement span (or the line above it) carries an
-/// `audit:allow(<rule>)` marker. Mirrors the rule layer's suppression logic.
+/// True when a statement's own lines (or the line directly above one of
+/// them) carry an `audit:allow(<rule>)` marker. Mirrors the rule layer's
+/// suppression logic. `stmt_lines` comes from
+/// [`ItemTree::stmt_lines`](crate::syntax::ItemTree::stmt_lines), so a
+/// marker inside a closure body covers only the closure's own statements —
+/// never the enclosing outer statement, whose lines exclude the body.
 pub fn suppressed_at(
     suppressions: &[Suppression],
     rule_id: &str,
-    stmt: (usize, usize),
+    stmt_lines: &[usize],
     line: usize,
 ) -> bool {
-    let lo = stmt.0.min(line);
-    let hi = stmt.1.max(line);
-    suppressions
-        .iter()
-        .any(|s| s.rule == rule_id && s.line + 1 >= lo && s.line <= hi)
+    suppressions.iter().any(|s| {
+        s.rule == rule_id
+            && (s.line == line
+                || s.line + 1 == line
+                || stmt_lines.contains(&s.line)
+                || stmt_lines.contains(&(s.line + 1)))
+    })
 }
 
 fn par_path(path: &str) -> bool {

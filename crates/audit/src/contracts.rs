@@ -81,12 +81,12 @@ fn edge_chain(graph: &CallGraph, from: u32, call_idx: usize, callee: u32, effect
     chain
 }
 
-fn site_suppressed(graph: &CallGraph, node: u32, rule_id: &str, stmt: (usize, usize), line: usize) -> bool {
+fn site_suppressed(graph: &CallGraph, node: u32, rule_id: &str, stmt_lines: &[usize], line: usize) -> bool {
     let file = &graph.nodes[node as usize].file;
     graph
         .suppressions
         .get(file)
-        .is_some_and(|s| crate::callgraph::suppressed_at(s, rule_id, stmt, line))
+        .is_some_and(|s| crate::callgraph::suppressed_at(s, rule_id, stmt_lines, line))
 }
 
 fn solver_effects(graph: &CallGraph, findings: &mut Vec<Finding>) {
@@ -107,7 +107,7 @@ fn solver_effects(graph: &CallGraph, findings: &mut Vec<Finding>) {
                 }) else {
                     continue;
                 };
-                if site_suppressed(graph, id, Rule::SolverEffects.id(), call.stmt, call.line) {
+                if site_suppressed(graph, id, Rule::SolverEffects.id(), &call.stmt_lines, call.line) {
                     continue;
                 }
                 findings.push(Finding {
@@ -166,7 +166,7 @@ fn hot_alloc(graph: &CallGraph, findings: &mut Vec<Finding>) {
             else {
                 continue;
             };
-            if site_suppressed(graph, id, Rule::HotAlloc.id(), call.stmt, call.line) {
+            if site_suppressed(graph, id, Rule::HotAlloc.id(), &call.stmt_lines, call.line) {
                 continue;
             }
             findings.push(Finding {
@@ -192,7 +192,7 @@ fn par_callee(graph: &CallGraph, findings: &mut Vec<Finding>) {
             if call.callable_args.is_empty() {
                 continue;
             }
-            if site_suppressed(graph, id, Rule::ParCallee.id(), call.stmt, call.line) {
+            if site_suppressed(graph, id, Rule::ParCallee.id(), &call.stmt_lines, call.line) {
                 continue;
             }
             // Per (site, effect) dedup: one finding per forbidden effect a

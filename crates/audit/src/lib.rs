@@ -11,12 +11,19 @@
 //!   scope, statement span, and structural `#[cfg(test)]`/`#[test]` status;
 //! - per-scope `use`-alias symbol tables ([`scopes`]) so rules resolve
 //!   renamed imports instead of pattern-matching raw paths;
+//! - a statement-level dataflow engine ([`dataflow`]): per-function def-use
+//!   chains tracking value provenance across `let` rebinds, reassignments,
+//!   and projections, plus `snbc_par` call/closure geometry — the substrate
+//!   for the provenance-aware rules;
 //! - soundness + determinism rules ([`rules`]): exact float comparisons,
-//!   panicking calls and swallowed `Result`s in solver library code, lossy
+//!   panicking calls and swallowed `Result`s in solver library code (def-use
+//!   based: a dead `Result` binding is flagged wherever it hides), lossy
 //!   numeric casts, `HashMap`/`HashSet` iteration, raw `thread::spawn` /
 //!   `Instant::now` / `std::env` reads / `println!`-family printing outside
-//!   their owner crates, and unordered float reductions over
-//!   `par_map_collect` output;
+//!   their owner crates, unordered float reductions over values that *flow*
+//!   from parallel output (however many bindings away), and `snbc_par`
+//!   closures capturing mutable or interior-mutable shared state
+//!   (`par-capture-race`);
 //! - an interprocedural effect engine: per-function effect leaves
 //!   ([`effects`]), a workspace call graph with SCC-fixpoint propagation
 //!   ([`callgraph`]), and declarative contracts over the propagated sets
@@ -28,8 +35,9 @@
 //! - a versioned regression baseline ([`baseline`], format v2) with
 //!   statement-scoped `// audit:allow(<rule>)` suppressions;
 //! - deterministic machine reports ([`sarif`] over the canonical [`json`]
-//!   encoder): `--format json` (`snbc-audit/3`, findings carry call chains)
-//!   and `--format sarif` (SARIF 2.1.0 with `codeFlows`), byte-identical
+//!   encoder): `--format json` (`snbc-audit/4`, findings carry call chains
+//!   and def-use chains, with a self-describing rule-version catalog) and
+//!   `--format sarif` (SARIF 2.1.0 with `codeFlows`), byte-identical
 //!   across runs and `SNBC_THREADS`; [`graphout`] dumps the call/arch graph
 //!   as canonical JSON or DOT (`snbc-audit graph`).
 //!
@@ -43,6 +51,7 @@
 pub mod arch;
 pub mod callgraph;
 pub mod contracts;
+pub mod dataflow;
 pub mod effects;
 pub mod graphout;
 pub mod json;
@@ -99,6 +108,58 @@ pub const PRINT_OWNER_CRATES: &[&str] = &["cli", "audit"];
 pub struct AuditConfig {
     /// Workspace root (the directory holding the top-level `Cargo.toml`).
     pub root: PathBuf,
+    /// Workspace-relative glob filters for *reported* findings (`--paths`).
+    /// Empty means everything. The scan itself always covers the whole
+    /// workspace — interprocedural contracts need the full call graph — so
+    /// incremental mode narrows the report, never the analysis: a finding in
+    /// `crates/lp` caused by an edit in `crates/linalg` still shows up when
+    /// you filter to either crate.
+    pub paths: Vec<String>,
+}
+
+impl AuditConfig {
+    pub fn new(root: PathBuf) -> AuditConfig {
+        AuditConfig { root, paths: Vec::new() }
+    }
+}
+
+/// Match a workspace-relative path against a `--paths` pattern. `*` matches
+/// any run of characters **including `/`**, `?` matches one character. A
+/// pattern with no metacharacters also matches as a directory prefix, so
+/// `--paths crates/lp` means `crates/lp/**`.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    if !pattern.contains('*') && !pattern.contains('?') {
+        let prefix = pattern.trim_end_matches('/');
+        if text == prefix {
+            return true;
+        }
+        return text.starts_with(prefix) && text.as_bytes().get(prefix.len()) == Some(&b'/');
+    }
+    // Classic two-pointer wildcard match with star backtracking.
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// Result of a workspace audit: all unsuppressed findings, sorted, plus the
@@ -178,6 +239,11 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<AuditReport, String> {
     report.graph = CallGraph::build(&analyses);
     report.graph.crate_deps = crate_deps;
     report.findings.extend(contracts::check(&report.graph));
+    if !cfg.paths.is_empty() {
+        report
+            .findings
+            .retain(|f| cfg.paths.iter().any(|p| glob_match(p, &f.file)));
+    }
     report.findings.sort();
     Ok(report)
 }
@@ -266,9 +332,41 @@ mod tests {
             .join("../..")
             .canonicalize()
             .unwrap();
-        let report = audit_workspace(&AuditConfig { root }).unwrap();
+        let report = audit_workspace(&AuditConfig::new(root)).unwrap();
         // The workspace has 14 crates with ~90 source files; if we ever scan
         // fewer than 50 something is broken in the walker.
         assert!(report.files_scanned > 50, "only scanned {}", report.files_scanned);
+    }
+
+    #[test]
+    fn glob_match_semantics() {
+        // `*` crosses `/`.
+        assert!(glob_match("crates/*/src/*.rs", "crates/lp/src/lib.rs"));
+        assert!(glob_match("crates/*", "crates/lp/src/solver/ipm.rs"));
+        assert!(glob_match("*ipm*", "crates/lp/src/solver/ipm.rs"));
+        assert!(!glob_match("crates/*/tests/*.rs", "crates/lp/src/lib.rs"));
+        // `?` is exactly one character.
+        assert!(glob_match("crates/l?/src/lib.rs", "crates/lp/src/lib.rs"));
+        assert!(!glob_match("crates/l?/src/lib.rs", "crates/linalg/src/lib.rs"));
+        // A literal pattern is a directory prefix (or exact match).
+        assert!(glob_match("crates/lp", "crates/lp/src/lib.rs"));
+        assert!(glob_match("crates/lp/", "crates/lp/src/lib.rs"));
+        assert!(glob_match("crates/lp/src/lib.rs", "crates/lp/src/lib.rs"));
+        assert!(!glob_match("crates/lp", "crates/lp2/src/lib.rs"));
+    }
+
+    #[test]
+    fn paths_filter_narrows_the_report_not_the_scan() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let mut cfg = AuditConfig::new(root);
+        cfg.paths = vec!["crates/does-not-exist".to_string()];
+        let report = audit_workspace(&cfg).unwrap();
+        // Same full coverage as the unfiltered run…
+        assert!(report.files_scanned > 50);
+        // …and every finding outside the filter is dropped.
+        assert!(report.findings.is_empty());
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list]
-//!            [--format text|json|sarif] [--output <file>]
+//!            [--format text|json|sarif] [--output <file>] [--paths <glob>[,<glob>...]]
 //! snbc-audit explain <rule-id>
 //! snbc-audit graph [--root <dir>] [--format json|dot] [--output <file>]
 //! ```
@@ -47,7 +47,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "snbc-audit [--root <dir>] [--baseline <file>] [--update-baseline] [--list] \
-                     [--format text|json|sarif] [--output <file>] | snbc-audit explain <rule-id> \
+                     [--format text|json|sarif] [--output <file>] \
+                     [--paths <glob>[,<glob>...]] | snbc-audit explain <rule-id> \
                      | snbc-audit graph [--root <dir>] [--format json|dot] [--output <file>]";
 
 fn run() -> Result<bool, String> {
@@ -57,6 +58,7 @@ fn run() -> Result<bool, String> {
     let mut list = false;
     let mut format = Format::Text;
     let mut output: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +86,18 @@ fn run() -> Result<bool, String> {
             "--output" => {
                 output = Some(PathBuf::from(args.next().ok_or("--output needs a value")?))
             }
+            // Incremental mode: report only findings whose workspace-relative
+            // path matches one of the globs. Repeatable; commas also split.
+            "--paths" => {
+                let value = args.next().ok_or("--paths needs a value")?;
+                paths.extend(
+                    value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|p| !p.is_empty())
+                        .map(str::to_string),
+                );
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(true);
@@ -102,7 +116,13 @@ fn run() -> Result<bool, String> {
         .map_err(|e| format!("cannot resolve root: {e}"))?;
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("audit-baseline.txt"));
 
-    let report = audit_workspace(&AuditConfig { root: root.clone() })?;
+    let report = audit_workspace(&AuditConfig { root: root.clone(), paths: paths.clone() })?;
+
+    // A filtered view must never rewrite or gate against the whole-workspace
+    // baseline: the unmatched findings it cannot see would read as fixed.
+    if !paths.is_empty() && update {
+        return Err("--paths cannot be combined with --update-baseline".to_string());
+    }
 
     // Diagnostics go to stdout in text mode, stderr otherwise: machine modes
     // must keep stdout byte-clean for the document.
@@ -245,7 +265,7 @@ fn graph_dump(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
     let root = root
         .canonicalize()
         .map_err(|e| format!("cannot resolve root: {e}"))?;
-    let report = audit_workspace(&AuditConfig { root })?;
+    let report = audit_workspace(&AuditConfig::new(root))?;
     let text = if dot {
         render_graph_dot(&report.graph)
     } else {

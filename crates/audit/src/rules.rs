@@ -36,6 +36,7 @@
 //! the statement.
 
 use crate::callgraph::{self, FileAnalysis};
+use crate::dataflow::{self, Hop};
 use crate::effects::{self, Effect, Leaf};
 use crate::scopes::{path_is, ScopeTable};
 use crate::syntax::{ItemTree, ScopeKind};
@@ -56,6 +57,7 @@ pub enum Rule {
     EnvRead,
     RawPrint,
     UnorderedReduce,
+    ParCaptureRace,
     SolverEffects,
     HotAlloc,
     ParCallee,
@@ -172,12 +174,19 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         rule: Rule::SwallowedResult,
         id: "swallowed-result",
-        version: 1,
-        summary: "discarded value (`let _ =` or bare `.ok();`) in solver code",
+        // v2: def-use based — beyond `let _ =` and bare `.ok();`, any named
+        // binding of a Result-shaped value (explicit `: Result<…>` type,
+        // a same-file `-> Result` callee, an `Ok`/`Err` constructor, or a
+        // rebinding thereof) with no subsequent use is a swallow, including
+        // `_`-prefixed names.
+        version: 2,
+        summary: "Result binding with no subsequent use in solver code",
         rationale: "The solver crates signal numerical failure through Results \
-                    (SdpError); `let _ =` or a bare `.ok();` makes an infeasible solve \
-                    or a failed factorization vanish instead of reaching telemetry and \
-                    the CEGIS round logic.",
+                    (SdpError); `let _ =`, a bare `.ok();`, or a named Result \
+                    binding that is never read again makes an infeasible solve or a \
+                    failed factorization vanish instead of reaching telemetry and \
+                    the CEGIS round logic. The def-use pass proves the binding dead \
+                    instead of guessing from its name.",
         fix: "Propagate with `?`, handle the Err arm explicitly, or document the \
               discard with `// audit:allow(swallowed-result)` and a reason.",
     },
@@ -215,16 +224,39 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         rule: Rule::UnorderedReduce,
         id: "unordered-reduce",
-        version: 1,
-        summary: "ad-hoc accumulation over par_map_collect output",
+        // v3: provenance-aware — the dataflow engine follows the
+        // par_map_collect/par_map_reduce result through `let` rebinds and
+        // slice projections, so a fold three bindings away is still caught;
+        // findings carry the def-use chain as SARIF codeFlows.
+        version: 3,
+        summary: "order-sensitive FP fold over a value that flows from parallel output",
         rationale: "Float reductions over parallel-produced data must have one \
                     canonical evaluation order; snbc_par::par_map_reduce's fixed chunk \
                     grid plus serial index-ascending fold is that order. Ad-hoc \
-                    `+=`/`.sum()` loops over par_map_collect output are easy to \
-                    reorder accidentally during refactors.",
+                    `+=`/`.sum()`/`mul_add` loops over values that *flow from* \
+                    par_map_collect output — however many `let` rebinds away — are \
+                    easy to reorder accidentally during refactors; the def-use chain \
+                    on each finding shows every hop back to the par call.",
         fix: "Use snbc_par::par_map_reduce, or keep the serial fold and annotate \
               `// audit:allow(unordered-reduce)` noting why the order is fixed \
               (index-ascending over the already-ordered output).",
+    },
+    RuleInfo {
+        rule: Rule::ParCaptureRace,
+        id: "par-capture-race",
+        version: 1,
+        summary: "snbc_par closure captures mutable or interior-mutable shared state",
+        rationale: "Closures handed to snbc_par entry points run concurrently: one \
+                    that mutates a captured local, pokes captured Cell/RefCell/Mutex/\
+                    atomic state, or reaches a buffer also passed as the call's \
+                    `&mut` output argument races against its siblings — a data race \
+                    the borrow checker misses behind interior mutability, and a \
+                    determinism hole even when it is technically synchronized \
+                    (lock acquisition order varies with SNBC_THREADS).",
+        fix: "Return the value from the closure and let the runtime's index-ordered \
+              collect own the output; move shared scratch to par_for_chunks_scratch's \
+              per-worker buffers; annotate `// audit:allow(par-capture-race)` only \
+              with an argument why the access cannot race or reorder.",
     },
     RuleInfo {
         rule: Rule::SolverEffects,
@@ -344,6 +376,9 @@ pub struct ScanOptions {
     pub check_raw_print: bool,
     /// `unordered-reduce` (everywhere except par itself).
     pub check_unordered_reduce: bool,
+    /// `par-capture-race` (everywhere except par itself, whose internals
+    /// legitimately manage the shared worker state).
+    pub check_par_capture_race: bool,
 }
 
 impl ScanOptions {
@@ -358,6 +393,7 @@ impl ScanOptions {
             check_env_read: !crate::ENV_OWNER_CRATES.contains(&crate_name),
             check_raw_print: !crate::PRINT_OWNER_CRATES.contains(&crate_name),
             check_unordered_reduce: crate_name != "par",
+            check_par_capture_race: crate_name != "par",
         }
     }
 }
@@ -398,6 +434,12 @@ impl RuleCtx<'_> {
     }
 
     fn hit(&self, rule: Rule, tok: usize, message: String) -> Hit {
+        self.hit_chain(rule, tok, message, Vec::new())
+    }
+
+    /// A hit carrying a def-use chain (rendered as SARIF `codeFlows`): the
+    /// flagged site first, then the provenance hops, origin last.
+    fn hit_chain(&self, rule: Rule, tok: usize, message: String, chain: Vec<Frame>) -> Hit {
         (
             tok,
             Finding {
@@ -405,9 +447,25 @@ impl RuleCtx<'_> {
                 file: self.file.to_string(),
                 line: self.tokens[tok].line,
                 message,
-                chain: Vec::new(),
+                chain,
             },
         )
+    }
+
+    /// Lift provenance hops into chain frames anchored in this file, headed
+    /// by a frame for the flagged site itself.
+    fn chain_from_hops(&self, site_line: usize, site_note: String, hops: &[Hop]) -> Vec<Frame> {
+        let mut chain = vec![Frame {
+            file: self.file.to_string(),
+            line: site_line,
+            note: site_note,
+        }];
+        chain.extend(hops.iter().map(|h| Frame {
+            file: self.file.to_string(),
+            line: h.line,
+            note: h.note.clone(),
+        }));
+        chain
     }
 }
 
@@ -470,6 +528,9 @@ pub fn scan_source_full(rel_path: &str, src: &str, opts: ScanOptions, crate_name
     } else {
         Vec::new()
     };
+    if opts.check_par_capture_race {
+        hits.extend(par_capture_race(&ctx));
+    }
 
     // Unsuppressed fold-order hazards feed the effect lattice as
     // `unordered-fp-fold` leaves (a suppressed site was argued safe and must
@@ -505,8 +566,8 @@ pub fn scan_source_full(rel_path: &str, src: &str, opts: ScanOptions, crate_name
 /// True when an `audit:allow(<rule>)` marker covers the statement holding
 /// `tok` (or the line directly above it).
 fn is_suppressed(lexed: &Lexed, tree: &ItemTree, rule_id: &str, tok: usize, line: usize) -> bool {
-    let stmt = tree.stmt_span(tok, line);
-    callgraph::suppressed_at(&lexed.suppressions, rule_id, stmt, line)
+    let stmt_lines = tree.stmt_lines(tok, line);
+    callgraph::suppressed_at(&lexed.suppressions, rule_id, &stmt_lines, line)
 }
 
 /// Drop findings whose enclosing statement span (or the line directly above
@@ -749,6 +810,40 @@ fn swallowed_result(ctx: &RuleCtx) -> Vec<Hit> {
             ));
         }
     }
+    // v2 def-use leg: a `let`-bound name that the dataflow engine shapes as
+    // a live `Result` (from a Result-returning fn, a Result-typed param, or
+    // a rebind of one — consumers like `?`/`.ok()` clear the shape) and that
+    // is never used again after its own statement is a swallowed Result no
+    // wildcard pattern can spot.
+    let result_fns = dataflow::result_fns(ctx.tokens, ctx.tree);
+    for_each_fn(ctx, |ctx, fid| {
+        let flow = dataflow::fn_flow(ctx.tokens, ctx.tree, fid);
+        let shaped = dataflow::result_shaped(&flow, ctx.tokens, &result_fns);
+        for (def, hops) in flow.defs.iter().zip(shaped.iter()) {
+            let Some(hops) = hops else { continue };
+            if !def.is_let || def.name == "_" || ctx.in_test(def.name_tok) {
+                continue;
+            }
+            if flow.use_after(ctx.tokens, &def.name, def.stmt_end).is_some() {
+                continue;
+            }
+            hits.push(ctx.hit_chain(
+                Rule::SwallowedResult,
+                def.name_tok,
+                format!(
+                    "`{}` binds a Result that is never used afterwards — the Err \
+                     arm is dead; handle it, drop the binding, or annotate \
+                     audit:allow(swallowed-result)",
+                    def.name
+                ),
+                ctx.chain_from_hops(
+                    def.line,
+                    format!("`{}` bound here, never read again", def.name),
+                    hops,
+                ),
+            ));
+        }
+    });
     hits
 }
 
@@ -826,28 +921,37 @@ fn env_read(ctx: &RuleCtx) -> Vec<Hit> {
         .collect()
 }
 
+/// `unordered-reduce` v3: provenance-aware. The dataflow engine seeds taint
+/// at `par_map_collect`/`par_map_reduce` calls and follows it through `let`
+/// rebinds, reassignments, and slice projections; any order-sensitive FP
+/// fold (`+=` loops, `.sum()`-family chains, `mul_add` chains in loops) over
+/// a tainted name fires, with the def-use chain attached.
 fn unordered_reduce(ctx: &RuleCtx) -> Vec<Hit> {
     let mut hits = Vec::new();
     for_each_fn(ctx, |ctx, fid| {
-        let tracked = tracked_vars(ctx, fid, |ctx, i| {
-            ctx.text(i) == "par_map_collect" && ctx.path_is(i, "snbc_par::par_map_collect", 1)
+        let flow = dataflow::fn_flow(ctx.tokens, ctx.tree, fid);
+        let tainted = dataflow::propagate(&flow, ctx.tokens, |i| {
+            let name = ctx.text(i);
+            (matches!(name, "par_map_collect" | "par_map_reduce")
+                && ctx.path_is(i, &format!("snbc_par::{name}"), 1))
+            .then(|| format!("`{name}(…)`"))
         });
-        if tracked.is_empty() {
+        if tainted.is_empty() {
             return;
         }
-        let scope = &ctx.tree.scopes[fid as usize];
-        let (lo, hi) = scope.body;
+        let (lo, hi) = flow.body;
         let mut i = lo;
         while i < hi {
             if ctx.in_test(i) || ctx.tree.enclosing_fn(i) != Some(fid) {
                 i += 1;
                 continue;
             }
-            // A `for` loop over the parallel output whose body accumulates
-            // with `+=`.
+            // A `for` loop over tainted data whose body accumulates with
+            // `+=` or chains `mul_add`.
             if ctx.text(i) == "for" {
                 if let Some((var_tok, var)) = for_loop_head(ctx, i, hi) {
-                    if tracked.contains(var) {
+                    if let Some(hops) = tainted.get(var) {
+                        let var = var.to_string();
                         // Find the loop body braces.
                         let mut b = var_tok;
                         while b < hi && ctx.text(b) != "{" {
@@ -856,16 +960,30 @@ fn unordered_reduce(ctx: &RuleCtx) -> Vec<Hit> {
                         let close = match_brace_tokens(ctx.tokens, b, hi);
                         let mut k = b;
                         while k + 1 < close {
-                            if ctx.text(k) == "+" && ctx.text(k + 1) == "=" {
-                                hits.push(ctx.hit(
+                            let sink = if ctx.text(k) == "+" && ctx.text(k + 1) == "=" {
+                                Some("`+=` accumulation")
+                            } else if ctx.text(k) == "mul_add"
+                                && ctx.text(k.wrapping_sub(1)) == "."
+                                && ctx.text(k + 1) == "("
+                            {
+                                Some("`mul_add` chain")
+                            } else {
+                                None
+                            };
+                            if let Some(what) = sink {
+                                hits.push(ctx.hit_chain(
                                     Rule::UnorderedReduce,
                                     k,
                                     format!(
-                                        "`+=` accumulation over `{var}` \
-                                         (par_map_collect output) — route the \
-                                         reduction through snbc_par::par_map_reduce's \
-                                         index-ordered fold or annotate \
-                                         audit:allow(unordered-reduce)"
+                                        "{what} over `{var}`, which flows from parallel \
+                                         output — route the reduction through \
+                                         snbc_par::par_map_reduce's index-ordered fold \
+                                         or annotate audit:allow(unordered-reduce)"
+                                    ),
+                                    ctx.chain_from_hops(
+                                        ctx.tokens[k].line,
+                                        format!("{what} over `{var}` here"),
+                                        hops,
                                     ),
                                 ));
                             }
@@ -876,30 +994,221 @@ fn unordered_reduce(ctx: &RuleCtx) -> Vec<Hit> {
                     }
                 }
             }
-            // `var.iter().sum()` / `.fold(..)` chains on the parallel output.
+            // `var.iter().sum()` / `.fold(..)` chains on tainted data.
             if ctx.is_ident(i)
-                && tracked.contains(ctx.text(i))
                 && ctx.text(i.wrapping_sub(1)) != "."
                 && ctx.text(i + 1) == "."
             {
-                if let Some(m) = chain_has_reduce(ctx, i, hi) {
-                    hits.push(ctx.hit(
-                        Rule::UnorderedReduce,
-                        m,
-                        format!(
-                            "`.{}()` over `{}` (par_map_collect output) — route the \
-                             reduction through snbc_par::par_map_reduce's index-ordered \
-                             fold or annotate audit:allow(unordered-reduce)",
-                            ctx.text(m),
-                            ctx.text(i)
-                        ),
-                    ));
+                if let Some(hops) = tainted.get(ctx.text(i)) {
+                    if let Some(m) = chain_has_reduce(ctx, i, hi) {
+                        hits.push(ctx.hit_chain(
+                            Rule::UnorderedReduce,
+                            m,
+                            format!(
+                                "`.{}()` over `{}`, which flows from parallel output — \
+                                 route the reduction through snbc_par::par_map_reduce's \
+                                 index-ordered fold or annotate \
+                                 audit:allow(unordered-reduce)",
+                                ctx.text(m),
+                                ctx.text(i)
+                            ),
+                            ctx.chain_from_hops(
+                                ctx.tokens[m].line,
+                                format!("`.{}()` fold over `{}` here", ctx.text(m), ctx.text(i)),
+                                hops,
+                            ),
+                        ));
+                    }
                 }
             }
             i += 1;
         }
     });
     hits
+}
+
+/// `par-capture-race` v1: closures handed to `snbc_par` entry points must
+/// not touch shared mutable state. Three hazard classes, each reported with
+/// a def-use chain (hazard site → par call → captured definition):
+///
+/// 1. mutation of a captured name (`x = …`, `x += …`, `x.push(…)`-style via
+///    field/index paths, `&mut x`);
+/// 2. interior-mutability/synchronization calls on a captured name
+///    (`.borrow_mut()`, `.lock()`, `.fetch_add(…)`, `.set(…)`, …);
+/// 3. any reference to a name that is also passed as a `&mut` argument of
+///    the *same* call — an alias of the output slice the runtime owns.
+fn par_capture_race(ctx: &RuleCtx) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for_each_fn(ctx, |ctx, fid| {
+        let flow = dataflow::fn_flow(ctx.tokens, ctx.tree, fid);
+        let calls = dataflow::par_calls(ctx.tokens, flow.body, |i, canonical| {
+            ctx.path_is(i, canonical, 1)
+        });
+        for call in calls {
+            if ctx.in_test(call.tok) {
+                continue;
+            }
+            // Idents under `&mut` among the call's own arguments: the output
+            // buffers the runtime hands back out in chunks.
+            let mut mut_args: BTreeSet<String> = BTreeSet::new();
+            for &(alo, ahi) in &call.args {
+                for k in alo..ahi {
+                    if ctx.text(k) == "&" && ctx.text(k + 1) == "mut" && ctx.is_ident(k + 2) {
+                        mut_args.insert(ctx.text(k + 2).to_string());
+                    }
+                }
+            }
+            for &arg in &call.args {
+                let Some((params, body)) = dataflow::closure_parts(ctx.tokens, arg) else {
+                    continue;
+                };
+                let mut locals = dataflow::local_lets(ctx.tokens, body);
+                locals.extend(params);
+                locals.insert("self".to_string());
+                let mut seen: BTreeSet<(String, &str)> = BTreeSet::new();
+                for k in body.0..body.1 {
+                    // Skip method/path segments, declarations, and type
+                    // positions (prev `:` covers `let x: f64 = …`, whose
+                    // annotation would otherwise read as a write). `mut` as
+                    // the previous token is NOT skipped: `&mut x` is exactly
+                    // the capture we are looking for (`let mut` locals are
+                    // filtered by the `locals` set).
+                    if !ctx.is_ident(k)
+                        || matches!(ctx.text(k.wrapping_sub(1)), "." | "::" | ":" | "let" | "fn")
+                        || ctx.text(k + 1) == ":"
+                        || ctx.text(k + 1) == "::"
+                    {
+                        continue;
+                    }
+                    let name = ctx.text(k).to_string();
+                    if locals.contains(&name) {
+                        continue;
+                    }
+                    let hazard: Option<(&str, String)> = if ctx.text(k.wrapping_sub(2)) == "&"
+                        && ctx.text(k.wrapping_sub(1)) == "mut"
+                    {
+                        Some(("mut-borrow", format!("captures `&mut {name}`")))
+                    } else if let Some(op) = capture_write_after(ctx, k, body.1) {
+                        Some(("write", format!("`{op}` writes captured `{name}`")))
+                    } else if let Some(m) = interior_mut_call_after(ctx, k, body.1) {
+                        Some(("interior-mut", format!("`{name}.{m}(…)` pokes captured shared state")))
+                    } else if mut_args.contains(&name) {
+                        Some(("alias", format!("`{name}` aliases the call's `&mut {name}` output argument")))
+                    } else {
+                        None
+                    };
+                    let Some((kind, what)) = hazard else { continue };
+                    if !seen.insert((name.clone(), kind)) {
+                        continue;
+                    }
+                    let mut hops = vec![Hop {
+                        line: call.line,
+                        note: format!("closure passed to `{}` here", call.name),
+                    }];
+                    if let Some(def_line) = flow.def_line(&name) {
+                        hops.push(Hop {
+                            line: def_line,
+                            note: format!("`{name}` defined here"),
+                        });
+                    }
+                    hits.push(ctx.hit_chain(
+                        Rule::ParCaptureRace,
+                        k,
+                        format!(
+                            "{what} inside a closure passed to `snbc_par::{}` — \
+                             workers race on it; return the value and let the \
+                             index-ordered collect own the output, or annotate \
+                             audit:allow(par-capture-race) with a determinism argument",
+                            call.name
+                        ),
+                        ctx.chain_from_hops(ctx.tokens[k].line, format!("{what} here"), &hops),
+                    ));
+                }
+            }
+        }
+    });
+    hits
+}
+
+/// For a captured ident at `k`, detect a write through an optional
+/// field/index path: `x = …`, `x += …`, `x.f = …`, `x[i] = …`. Returns the
+/// operator text. Plain `==`/`<=`/`=>` are single tokens, so a bare `=` is
+/// always assignment.
+fn capture_write_after(ctx: &RuleCtx, k: usize, hi: usize) -> Option<&'static str> {
+    let mut j = k + 1;
+    // Walk a projection path: `.field`, `[index]`.
+    loop {
+        if ctx.text(j) == "." && ctx.is_ident(j + 1) {
+            // A method call in the path is not a projection — handled by the
+            // interior-mutability leg instead.
+            if ctx.text(j + 2) == "(" {
+                return None;
+            }
+            j += 2;
+        } else if ctx.text(j) == "[" {
+            j = match_bracket_tokens(ctx.tokens, j, hi) + 1;
+        } else {
+            break;
+        }
+    }
+    if ctx.text(j) == "=" {
+        return Some("=");
+    }
+    match ctx.text(j) {
+        "+" if ctx.text(j + 1) == "=" => Some("+="),
+        "-" if ctx.text(j + 1) == "=" => Some("-="),
+        "*" if ctx.text(j + 1) == "=" => Some("*="),
+        "/" if ctx.text(j + 1) == "=" => Some("/="),
+        _ => None,
+    }
+}
+
+/// Methods that mutate or synchronize through a shared handle.
+const INTERIOR_MUT_METHODS: &[&str] = &[
+    "borrow_mut",
+    "lock",
+    "write",
+    "set",
+    "replace",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// `name.method(` where method is an interior-mutability/sync call.
+fn interior_mut_call_after<'c>(ctx: &'c RuleCtx, k: usize, hi: usize) -> Option<&'c str> {
+    if ctx.text(k + 1) == "." && k + 3 < hi && ctx.text(k + 3) == "(" {
+        let m = ctx.text(k + 2);
+        if INTERIOR_MUT_METHODS.contains(&m) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+fn match_bracket_tokens(tokens: &[Token], i: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
 }
 
 // ---------------------------------------------------------------------------
@@ -1144,6 +1453,7 @@ mod tests {
         check_env_read: true,
         check_raw_print: true,
         check_unordered_reduce: true,
+        check_par_capture_race: true,
     };
     const NON_SOLVER: ScanOptions = ScanOptions {
         check_panicking: false,
@@ -1153,6 +1463,7 @@ mod tests {
         check_env_read: true,
         check_raw_print: true,
         check_unordered_reduce: true,
+        check_par_capture_race: true,
     };
     const OWNER: ScanOptions = ScanOptions {
         check_panicking: false,
@@ -1162,6 +1473,7 @@ mod tests {
         check_env_read: false,
         check_raw_print: false,
         check_unordered_reduce: false,
+        check_par_capture_race: false,
     };
 
     fn rules_of(src: &str, opts: ScanOptions) -> Vec<Rule> {

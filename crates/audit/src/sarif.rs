@@ -1,4 +1,4 @@
-//! Machine-readable audit reports: a compact JSON schema (`snbc-audit/3`)
+//! Machine-readable audit reports: a compact JSON schema (`snbc-audit/4`)
 //! and SARIF 2.1.0, both rendered through the canonical encoder in
 //! [`crate::json`] so output is **byte-identical across runs** (and across
 //! `SNBC_THREADS` values — findings are sorted before rendering) and
@@ -6,9 +6,11 @@
 //!
 //! Schema stability contract:
 //!
-//! - the JSON schema string is `"snbc-audit/3"`; any field change bumps it
-//!   (v3 added the optional per-finding `chain` — the interprocedural call
-//!   chain from the reported site to the effect leaf);
+//! - the JSON schema string is `"snbc-audit/4"`; any field change bumps it
+//!   (v3 added the optional per-finding `chain` — the call chain from the
+//!   reported site to the effect leaf; v4 adds the top-level `rules`
+//!   catalog of `{id, version}` pairs, and `chain` now also carries the
+//!   dataflow def-use hops behind the provenance-aware rules);
 //! - SARIF documents pin `version: "2.1.0"` and carry per-rule versions in
 //!   `rule.properties.ruleVersion`, mirroring baseline semantics; findings
 //!   with a chain export it as `codeFlows[0].threadFlows[0].locations`;
@@ -20,7 +22,7 @@ use crate::json::{parse, render, Value};
 use crate::rules::{Finding, Frame, Rule, RULES};
 
 /// JSON schema identifier; bump on any shape change.
-pub const JSON_SCHEMA: &str = "snbc-audit/3";
+pub const JSON_SCHEMA: &str = "snbc-audit/4";
 /// Pinned SARIF version and schema URI.
 pub const SARIF_VERSION: &str = "2.1.0";
 pub const SARIF_SCHEMA_URI: &str =
@@ -49,10 +51,21 @@ fn s(text: &str) -> Value {
 }
 
 // ---------------------------------------------------------------------------
-// snbc-audit/2 JSON.
+// snbc-audit/4 JSON.
 
-/// Render the compact JSON report (canonical bytes).
+/// Render the compact JSON report (canonical bytes). The top-level `rules`
+/// array pins every rule's version so a stored report is self-describing:
+/// diffing two reports across a rule bump shows *why* the findings moved.
 pub fn render_json_report(report: &Report) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|info| {
+            obj(vec![
+                ("id", s(info.id)),
+                ("version", Value::Int(info.version as i64)),
+            ])
+        })
+        .collect();
     let findings = report
         .findings
         .iter()
@@ -86,13 +99,16 @@ pub fn render_json_report(report: &Report) -> String {
         .collect();
     let doc = obj(vec![
         ("schema", s(JSON_SCHEMA)),
+        ("rules", Value::Arr(rules)),
         ("files_scanned", Value::Int(report.files_scanned as i64)),
         ("findings", Value::Arr(findings)),
     ]);
     render(&doc)
 }
 
-/// Parse a `snbc-audit/2` document back into a [`Report`].
+/// Parse a `snbc-audit/4` document back into a [`Report`]. The `rules`
+/// catalog is advisory — the parser validates the schema string and ignores
+/// the catalog, so re-rendering regenerates it from the live rule table.
 pub fn parse_json_report(text: &str) -> Result<Report, String> {
     let doc = parse(text)?;
     let schema = doc
@@ -457,7 +473,27 @@ mod tests {
     #[test]
     fn wrong_schema_is_rejected() {
         assert!(parse_json_report("{\"schema\":\"snbc-audit/2\",\"files_scanned\":0,\"findings\":[]}").is_err());
+        assert!(parse_json_report("{\"schema\":\"snbc-audit/3\",\"files_scanned\":0,\"findings\":[]}").is_err());
         assert!(parse_sarif("{\"version\":\"2.0.0\",\"runs\":[]}").is_err());
+    }
+
+    #[test]
+    fn json_report_pins_every_rule_version() {
+        let text = render_json_report(&sample());
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(JSON_SCHEMA));
+        let rules = doc.get("rules").and_then(Value::as_arr).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for info in RULES {
+            assert!(
+                rules.iter().any(|r| {
+                    r.get("id").and_then(Value::as_str) == Some(info.id)
+                        && r.get("version").and_then(Value::as_int) == Some(info.version as i64)
+                }),
+                "missing or mis-versioned rule {}",
+                info.id
+            );
+        }
     }
 
     #[test]

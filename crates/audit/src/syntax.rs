@@ -57,6 +57,12 @@ pub struct Stmt {
     /// 1-indexed source line span of the statement, inclusive.
     pub start_line: usize,
     pub end_line: usize,
+    /// Sorted, deduplicated 1-indexed lines holding this statement's *own*
+    /// tokens. Tokens inside a nested `{}` block belong to inner statements,
+    /// so a multi-line closure body contributes nothing here — which is what
+    /// scopes `audit:allow` markers written inside a closure to the closure's
+    /// own statements instead of the enclosing outer statement.
+    pub lines: Vec<usize>,
 }
 
 /// The syntax layer handed to rules: scopes, test regions, statement spans.
@@ -120,6 +126,18 @@ impl ItemTree {
                 (s.start_line, s.end_line)
             }
             _ => (fallback_line, fallback_line),
+        }
+    }
+
+    /// Lines holding the tokens of the statement enclosing `tok` — the
+    /// suppression anchor set. Unlike [`stmt_span`](Self::stmt_span), this
+    /// excludes lines owned exclusively by nested block statements (closure
+    /// bodies), so an `audit:allow` inside a closure cannot silence a finding
+    /// on the enclosing statement. Falls back to the token's own line.
+    pub fn stmt_lines(&self, tok: usize, fallback_line: usize) -> Vec<usize> {
+        match self.stmt_of.get(tok) {
+            Some(&id) if id != NO_STMT => self.stmts[id as usize].lines.clone(),
+            _ => vec![fallback_line],
         }
     }
 }
@@ -440,7 +458,7 @@ fn compute_stmts(tokens: &[Token]) -> (Vec<Stmt>, Vec<u32>) {
         let id = match frame.open {
             Some(id) => id,
             None => {
-                stmts.push(Stmt { start_line: line, end_line: line });
+                stmts.push(Stmt { start_line: line, end_line: line, lines: Vec::new() });
                 let id = (stmts.len() - 1) as u32; // audit:allow(lossy-cast) — stmt ids fit u32
                 frame.open = Some(id);
                 id
@@ -449,6 +467,11 @@ fn compute_stmts(tokens: &[Token]) -> (Vec<Stmt>, Vec<u32>) {
         let s = &mut stmts[id as usize];
         s.end_line = s.end_line.max(line);
         s.start_line = s.start_line.min(line);
+        // A statement's tokens arrive in non-decreasing line order even when
+        // nested blocks interleave, so a last-element check dedups.
+        if s.lines.last() != Some(&line) {
+            s.lines.push(line);
+        }
         stmt_of[i] = id;
         id
     };
@@ -645,6 +668,20 @@ mod tests {
         let c = tokens.iter().position(|tk| tk.text == "c").unwrap();
         let y = tokens.iter().position(|tk| tk.text == "y").unwrap();
         assert_ne!(t.stmt_of[c], t.stmt_of[y]);
+    }
+
+    #[test]
+    fn stmt_lines_exclude_nested_block_bodies() {
+        // The outer `let` statement owns lines 2 (head) and 5 (closing
+        // tokens); lines 3–4 belong to the closure's inner statements.
+        let src = "fn f(n: usize) -> Vec<u64> {\n  let xs = run(n, |i| {\n    let y = i as u64;\n    y + 1\n  });\n  xs\n}\n";
+        let (tokens, t) = tree(src);
+        let xs = tokens.iter().position(|tk| tk.text == "xs").unwrap();
+        assert_eq!(t.stmt_lines(xs, 0), vec![2, 5]);
+        let y = tokens.iter().position(|tk| tk.text == "y").unwrap();
+        assert_eq!(t.stmt_lines(y, 0), vec![3]);
+        // The legacy span still covers the whole construct.
+        assert_eq!(t.stmt_span(xs, 0), (2, 5));
     }
 
     #[test]

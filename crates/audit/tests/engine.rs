@@ -15,6 +15,7 @@ const NONDET_ITER: &str = include_str!("fixtures/nondet_iter.rs");
 const SWALLOWED: &str = include_str!("fixtures/swallowed_result.rs");
 const ENV_READ: &str = include_str!("fixtures/env_read.rs");
 const UNORDERED: &str = include_str!("fixtures/unordered_reduce.rs");
+const PAR_RACE: &str = include_str!("fixtures/par_capture_race.rs");
 
 /// Options a solver crate (lp/sdp/sos/linalg/interval) is scanned with.
 const SOLVER_OPTS: ScanOptions = ScanOptions {
@@ -25,6 +26,7 @@ const SOLVER_OPTS: ScanOptions = ScanOptions {
     check_env_read: true,
     check_raw_print: true,
     check_unordered_reduce: true,
+    check_par_capture_race: true,
 };
 
 /// Options a non-solver, non-owner crate is scanned with.
@@ -36,6 +38,7 @@ const NON_SOLVER_OPTS: ScanOptions = ScanOptions {
     check_env_read: true,
     check_raw_print: true,
     check_unordered_reduce: true,
+    check_par_capture_race: true,
 };
 
 fn hits(src: &str, opts: ScanOptions) -> Vec<(Rule, usize)> {
@@ -81,8 +84,17 @@ fn panicking_rule_only_applies_to_solver_crates() {
 fn suppressions_silence_only_the_named_rule_on_the_statement() {
     let got = hits(SUPPRESSED, SOLVER_OPTS);
     // Everything is suppressed — including a finding two lines into a
-    // multi-line statement — except the wrong-rule and blank-line-gap cases.
-    assert_eq!(got, vec![(Rule::FloatEq, 25), (Rule::FloatEq, 31)]);
+    // multi-line statement — except the wrong-rule and blank-line-gap cases
+    // and the closure-scoping regression: an `audit:allow` *inside* a closure
+    // body must not silence findings on the enclosing statement's own lines.
+    assert_eq!(
+        got,
+        vec![
+            (Rule::FloatEq, 25),
+            (Rule::FloatEq, 31),
+            (Rule::LossyCast, 35),
+        ]
+    );
 }
 
 #[test]
@@ -110,7 +122,13 @@ fn swallowed_result_fixture_exact_hits() {
     let got = hits(SWALLOWED, SOLVER_OPTS);
     assert_eq!(
         got,
-        vec![(Rule::SwallowedResult, 7), (Rule::SwallowedResult, 11)]
+        vec![
+            (Rule::SwallowedResult, 7),
+            (Rule::SwallowedResult, 11),
+            (Rule::SwallowedResult, 15),
+            (Rule::SwallowedResult, 19),
+            (Rule::SwallowedResult, 24),
+        ]
     );
     // The rule is scoped to solver crates.
     assert!(hits(SWALLOWED, NON_SOLVER_OPTS).is_empty());
@@ -134,11 +152,65 @@ fn unordered_reduce_fixture_exact_hits() {
             (Rule::UnorderedReduce, 10),
             (Rule::UnorderedReduce, 17),
             (Rule::UnorderedReduce, 23),
+            (Rule::UnorderedReduce, 53),
+            (Rule::UnorderedReduce, 60),
+            (Rule::UnorderedReduce, 67),
         ]
     );
     // snbc-par itself scans with the check off.
     let par = ScanOptions { check_unordered_reduce: false, ..NON_SOLVER_OPTS };
     assert!(hits(UNORDERED, par).is_empty());
+}
+
+#[test]
+fn unordered_reduce_findings_carry_def_use_chains() {
+    let findings = scan_source("fixture.rs", UNORDERED, NON_SOLVER_OPTS);
+    // The rebound-sum case (sink @ 53): sink frame first, then the def-use
+    // chain walking `zs` ← `ys` ← `parts` ← par_map_collect.
+    let f = findings.iter().find(|f| f.line == 53).expect("sink @ 53");
+    let lines: Vec<usize> = f.chain.iter().map(|fr| fr.line).collect();
+    assert_eq!(lines, vec![53, 52, 51, 50], "sink, then defs newest-first");
+    assert!(f.chain[3].note.contains("par_map_collect"), "{}", f.chain[3].note);
+    // The single-hop cases still carry (sink, binding) chains.
+    let f = findings.iter().find(|f| f.line == 10).expect("sink @ 10");
+    assert_eq!(
+        f.chain.iter().map(|fr| fr.line).collect::<Vec<_>>(),
+        vec![10, 7]
+    );
+}
+
+#[test]
+fn par_capture_race_fixture_exact_hits() {
+    let got = hits(PAR_RACE, NON_SOLVER_OPTS);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::ParCaptureRace, 9),
+            (Rule::ParCaptureRace, 16),
+            (Rule::ParCaptureRace, 22),
+            (Rule::ParCaptureRace, 28),
+            (Rule::ParCaptureRace, 34),
+            (Rule::ParCaptureRace, 40),
+        ]
+    );
+    // snbc-par's own internals scan with the check off.
+    let par = ScanOptions { check_par_capture_race: false, ..NON_SOLVER_OPTS };
+    assert!(hits(PAR_RACE, par).is_empty());
+}
+
+#[test]
+fn par_capture_race_findings_carry_capture_chains() {
+    let findings = scan_source("fixture.rs", PAR_RACE, NON_SOLVER_OPTS);
+    // The captured-accumulator case: hazard site, the par call it escapes
+    // into, and the captured variable's definition.
+    let f = findings.iter().find(|f| f.line == 9).expect("hazard @ 9");
+    assert_eq!(
+        f.chain.iter().map(|fr| fr.line).collect::<Vec<_>>(),
+        vec![9, 8, 7],
+        "hazard, par call, capture definition"
+    );
+    assert!(f.chain[1].note.contains("par_for_chunks"), "{}", f.chain[1].note);
+    assert!(f.message.contains("snbc_par::par_for_chunks"), "{}", f.message);
 }
 
 #[test]

@@ -1,0 +1,75 @@
+//! Audit fixture: `par-capture-race` positives and exemptions.
+//!
+//! Never compiled — read by `tests/engine.rs`, which asserts the exact
+//! (rule, line) set below. Keep line numbers in sync when editing.
+
+pub fn captured_accumulator(n: usize) -> f64 {
+    let mut acc = 0.0;
+    snbc_par::par_for_chunks(n, 16, |lo, hi| {
+        acc += (hi - lo) as f64; // expect: par-capture-race @ 9 (write to capture)
+    });
+    acc
+}
+
+pub fn cell_counter(n: usize, hits: &std::cell::Cell<u64>) {
+    snbc_par::par_for_chunks(n, 16, |lo, hi| {
+        hits.set(hits.get() + (hi - lo) as u64); // expect: par-capture-race @ 16
+    });
+}
+
+pub fn locked_push(n: usize, out: &std::sync::Mutex<Vec<u64>>) {
+    snbc_par::par_for_chunks(n, 16, |lo, _hi| {
+        out.lock().push(lo as u64); // expect: par-capture-race @ 22 (lock in worker)
+    });
+}
+
+pub fn atomic_ticks(n: usize, ticks: &std::sync::atomic::AtomicU64) {
+    snbc_par::par_for_chunks(n, 16, |lo, hi| {
+        ticks.fetch_add((hi - lo) as u64, Ordering::Relaxed); // expect: par-capture-race @ 28
+    });
+}
+
+pub fn mut_borrow_capture(n: usize, buf: &mut [f64]) {
+    snbc_par::par_for_chunks(n, 16, |lo, hi| {
+        renorm(&mut buf[lo..hi]); // expect: par-capture-race @ 34 (&mut capture)
+    });
+}
+
+pub fn output_alias(n: usize, out: &mut [f64]) {
+    snbc_par::par_for_chunks_scratch(n, 16, &mut out, |lo, hi| {
+        out[lo] + out[hi - 1] // expect: par-capture-race @ 40 (aliases the &mut arg)
+    });
+}
+
+pub fn pure_map_is_fine(n: usize, scale: f64) -> Vec<f64> {
+    snbc_par::par_map_collect(n, |i| i as f64 * scale)
+}
+
+pub fn closure_local_mut_is_fine(n: usize) -> Vec<f64> {
+    snbc_par::par_map_collect(n, |i| {
+        let mut s = 0.0;
+        s += i as f64;
+        s
+    })
+}
+
+pub fn suppressed(n: usize) -> f64 {
+    let mut acc = 0.0;
+    snbc_par::par_for_chunks(n, 16, |lo, hi| {
+        // audit:allow(par-capture-race)
+        acc += (hi - lo) as f64;
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        let mut acc = 0.0;
+        snbc_par::par_for_chunks(4, 2, |lo, hi| {
+            acc += (hi - lo) as f64;
+        });
+        assert!(acc >= 0.0);
+    }
+}

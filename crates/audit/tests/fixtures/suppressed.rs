@@ -30,3 +30,10 @@ pub fn too_far_does_not_suppress(a: f64) -> bool {
 
     a == 0.75 // expect: float-eq @ 31 (blank line between allow and finding)
 }
+
+pub fn closure_allow_stays_inside(bias: f64) -> Vec<f32> {
+    snbc_par::par_map_collect(bias as f32 as usize, |i| { // expect: lossy-cast @ 35
+        // audit:allow(lossy-cast)
+        (i as f64 + bias) as f32
+    })
+}

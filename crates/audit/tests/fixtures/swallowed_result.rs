@@ -11,8 +11,17 @@ pub fn bare_ok(r: Result<u32, String>) {
     r.ok(); // expect: swallowed-result @ 11
 }
 
-pub fn named_discard_is_fine(r: Result<u32, String>) {
-    let _unused = r;
+pub fn named_discard(r: Result<u32, String>) {
+    let _unused = r; // expect: swallowed-result @ 15 (v2 def-use: dead Result binding)
+}
+
+pub fn dead_call_binding() {
+    let status = solve_step(); // expect: swallowed-result @ 19
+}
+
+pub fn dead_rebind(r: Result<u32, String>) {
+    let first = r;
+    let second = first; // expect: swallowed-result @ 24 (shape follows the rebind)
 }
 
 pub fn bound_ok_is_fine(r: Result<u32, String>) -> Option<u32> {
@@ -24,10 +33,25 @@ pub fn returned_ok_is_fine(r: Result<u32, String>) -> Option<u32> {
     return r.ok();
 }
 
+pub fn question_mark_is_fine() -> Result<u32, String> {
+    let v = solve_step()?;
+    Ok(v + 1)
+}
+
+pub fn used_later_is_fine() -> Result<u32, String> {
+    let status = solve_step();
+    status
+}
+
 pub fn suppressed(r: Result<u32, String>) {
     // audit:allow(swallowed-result)
     let _ = r;
     r.ok(); // audit:allow(swallowed-result)
+    let _dead = solve_step(); // audit:allow(swallowed-result)
+}
+
+fn solve_step() -> Result<u32, String> {
+    Ok(1)
 }
 
 #[cfg(test)]

@@ -46,6 +46,34 @@ pub fn suppressed(n: usize) -> u64 {
     acc
 }
 
+pub fn rebound_sum(n: usize) -> f64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as f64);
+    let ys = parts;
+    let zs = ys;
+    zs.iter().sum::<f64>() // expect: unordered-reduce @ 53 (taint follows rebinds)
+}
+
+pub fn mul_add_loop(n: usize) -> f64 {
+    let ws = snbc_par::par_map_collect(n, |i| i as f64);
+    let mut acc = 0.0;
+    for w in &ws {
+        acc = acc.mul_add(2.0, *w); // expect: unordered-reduce @ 60 (mul_add chain)
+    }
+    acc
+}
+
+pub fn reduce_output_flows(n: usize) -> f64 {
+    let partials = snbc_par::par_map_reduce(n, |i| vec![i as f64], std::ops::Add::add);
+    partials.iter().sum::<f64>() // expect: unordered-reduce @ 67 (par_map_reduce seeds too)
+}
+
+pub fn scalar_index_drops_taint(n: usize) -> f64 {
+    let parts = snbc_par::par_map_collect(n, |i| i as f64);
+    let head = parts[0];
+    let tail = [head, head];
+    tail.iter().sum::<f64>() // fine: a scalar projection breaks the taint chain
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

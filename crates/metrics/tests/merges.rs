@@ -1,0 +1,121 @@
+//! Registry merge semantics: bucket boundary placement, fork/merge
+//! associativity at wave barriers, and the canonical-vs-full snapshot split.
+//!
+//! These pin the exact properties the deterministic telemetry contract
+//! leans on: `position(|&b| value <= b)` is boundary-inclusive, fixed-order
+//! merges are associative (bitwise, given exactly-representable sums), and
+//! environmental entries never reach the canonical artifact.
+
+use snbc_metrics::{buckets, Metrics};
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive() {
+    let m = Metrics::recording();
+    // WAVES grid: [1, 2, 4, 8, 16, 32] → 7 slots (6 bounds + overflow).
+    for v in [
+        -3.0, // below every bound → bucket 0
+        1.0,  // == bounds[0] → bucket 0 (boundary-inclusive)
+        1.5,  // just above → bucket 1
+        2.0,  // == bounds[1] → bucket 1
+        32.0, // == last bound → bucket 5
+        33.0, // above last bound → overflow slot
+    ] {
+        m.observe("waves", buckets::WAVES, v);
+    }
+    let snap = m.snapshot(true);
+    let h = &snap.hists[0];
+    assert_eq!(h.bounds, buckets::WAVES.to_vec());
+    assert_eq!(h.counts.len(), buckets::WAVES.len() + 1);
+    assert_eq!(h.counts, vec![2, 2, 0, 0, 0, 1, 1]);
+    assert_eq!(h.count, 6);
+}
+
+#[test]
+fn fork_merge_is_associative_at_wave_barriers() {
+    // Three workers fork at a wave barrier and record independently. The
+    // driver may merge them flat (root ← a, b, c) or through an intermediate
+    // registry (root ← (a ← b), c) — as long as the *sequence* order is the
+    // same, the result must be bitwise identical, counters and float sums
+    // alike. Power-of-two values make the sums exactly representable, so
+    // equality here is exact, not approximate.
+    let record = |m: &Metrics, k: u64| {
+        m.add("candidates", k);
+        m.gauge("last_loss", 1.0 / (k as f64));
+        m.observe("points", buckets::POINTS, (1u64 << k) as f64);
+        m.observe("points", buckets::POINTS, 0.5 * k as f64);
+    };
+
+    // Flat: root absorbs a, b, c in wave order.
+    let flat = Metrics::recording();
+    for k in 1..=3 {
+        let worker = flat.fork();
+        record(&worker, k);
+        flat.merge(&worker);
+    }
+
+    // Nested: a absorbs b first, then root absorbs (a+b), then c.
+    let nested = Metrics::recording();
+    let a = nested.fork();
+    record(&a, 1);
+    let b = a.fork();
+    record(&b, 2);
+    a.merge(&b);
+    nested.merge(&a);
+    let c = nested.fork();
+    record(&c, 3);
+    nested.merge(&c);
+
+    let flat_snap = flat.snapshot(false);
+    let nested_snap = nested.snapshot(false);
+    assert_eq!(flat_snap.counter("candidates"), 6);
+    assert_eq!(flat_snap.to_json_string(), nested_snap.to_json_string());
+    // Bitwise, not approximate: the histogram sums went through the same
+    // addition sequence, so even their bit patterns agree.
+    assert_eq!(
+        flat_snap.hists[0].sum.to_bits(),
+        nested_snap.hists[0].sum.to_bits()
+    );
+    // Gauges are last-write-wins in merge order: the wave-3 worker wrote last.
+    assert_eq!(flat_snap.gauge("last_loss"), Some(1.0 / 3.0));
+}
+
+#[test]
+fn canonical_snapshot_excludes_env_entries_full_keeps_them() {
+    let m = Metrics::recording();
+    m.add("iterations", 7);
+    m.add_env("cache_hits", 3);
+    m.gauge("margin", 0.25);
+    m.gauge_env("queue_depth", 9.0);
+    m.observe("loss", buckets::LOSS, 0.5);
+
+    let full = m.snapshot(false);
+    let canonical = m.snapshot(true);
+
+    // Full sees everything, env entries flagged.
+    assert_eq!(full.counter("iterations"), 7);
+    assert_eq!(full.counter("cache_hits"), 3);
+    assert_eq!(full.gauge("queue_depth"), Some(9.0));
+    assert!(full.counters.iter().any(|c| c.name == "cache_hits" && c.env));
+
+    // Canonical drops exactly the env entries; histograms always survive.
+    assert_eq!(canonical.counter("iterations"), 7);
+    assert_eq!(canonical.counter("cache_hits"), 0);
+    assert_eq!(canonical.gauge("queue_depth"), None);
+    assert_eq!(canonical.gauge("margin"), Some(0.25));
+    assert_eq!(canonical.hists.len(), 1);
+
+    // The two artifacts differ only by the env entries.
+    let full_json = full.to_json_string();
+    let canon_json = canonical.to_json_string();
+    assert_ne!(full_json, canon_json);
+    assert!(full_json.contains("cache_hits") && full_json.contains("queue_depth"));
+    assert!(!canon_json.contains("cache_hits") && !canon_json.contains("queue_depth"));
+
+    // Merging an env-carrying snapshot into a fresh registry preserves the
+    // env flag — replayed cache-job metrics stay environmental.
+    let replay = Metrics::recording();
+    replay.merge_snapshot(&full);
+    let replayed = replay.snapshot(true);
+    assert_eq!(replayed.counter("cache_hits"), 0);
+    assert_eq!(replayed.counter("iterations"), 7);
+}

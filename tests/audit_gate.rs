@@ -140,6 +140,34 @@ fn machine_formats_are_deterministic_across_runs_and_threads() {
         // Machine mode keeps stdout document-only: it must start with `{`.
         assert_eq!(a.first(), Some(&b'{'), "{format} stdout is not a bare document");
     }
+    // The JSON document carries the current schema tag and the
+    // self-describing rule-version catalog.
+    let json = String::from_utf8(run_audit_stdout(&["--format", "json"], None)).unwrap();
+    assert!(
+        json.contains("\"schema\":\"snbc-audit/4\""),
+        "json must carry the snbc-audit/4 schema tag"
+    );
+    assert!(
+        json.contains("\"rules\":[") && json.contains("\"id\":\"par-capture-race\""),
+        "json must embed the rule catalog"
+    );
+}
+
+#[test]
+fn paths_filter_narrows_the_report_not_the_scan() {
+    // A filter that matches nothing keeps full scan coverage but reports no
+    // findings; a filter that covers everything is byte-identical to no
+    // filter at all.
+    let none = String::from_utf8(run_audit_stdout(
+        &["--format", "json", "--paths", "crates/does-not-exist"],
+        None,
+    ))
+    .unwrap();
+    assert!(none.contains("\"findings\":[]"), "{none}");
+    assert!(!none.contains("\"files_scanned\":0"), "{none}");
+    let all = run_audit_stdout(&["--format", "json", "--paths", "crates"], None);
+    let unfiltered = run_audit_stdout(&["--format", "json"], None);
+    assert_eq!(all, unfiltered);
 }
 
 #[test]
@@ -194,6 +222,8 @@ fn explain_subcommand_documents_every_rule() {
         "swallowed-result",
         "env-read",
         "unordered-reduce",
+        "par-capture-race",
+        "raw-print",
         "solver-effects",
         "hot-alloc",
         "par-callee",
@@ -209,4 +239,23 @@ fn explain_subcommand_documents_every_rule() {
     let out = run_audit(&["explain", "no-such-rule"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("nondet-iter"));
+}
+
+#[test]
+fn explain_reports_the_dataflow_rule_versions() {
+    // The dataflow engine bumped these; `explain` is where a developer
+    // checks why baseline pins went stale.
+    for (rule, version) in [
+        ("unordered-reduce", "v3"),
+        ("swallowed-result", "v2"),
+        ("par-capture-race", "v1"),
+    ] {
+        let out = run_audit(&["explain", rule]);
+        assert!(out.status.success(), "explain {rule} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("{rule} ({version})")),
+            "explain {rule}: {stdout}"
+        );
+    }
 }
